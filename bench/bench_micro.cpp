@@ -1,0 +1,118 @@
+// Microbenchmarks for the substrate hot paths: FFT engine (radix-2 vs
+// Bluestein), baseband synthesis, channel path enumeration, contour
+// extraction and the Kalman filters.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/contour.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/kalman.hpp"
+#include "hw/mixer.hpp"
+#include "rf/channel.hpp"
+
+using namespace witrack;
+
+namespace {
+
+void BM_FftRadix2(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<dsp::cplx> data(n, dsp::cplx(1.0, -0.5));
+    const dsp::Fft& plan = dsp::fft_plan(n);
+    for (auto _ : state) {
+        auto copy = data;
+        plan.forward(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(1024)->Arg(4096)->Arg(16384)->Complexity();
+
+void BM_FftBluestein2500(benchmark::State& state) {
+    std::vector<dsp::cplx> data(2500, dsp::cplx(0.3, 0.1));
+    const dsp::Fft& plan = dsp::fft_plan(2500);
+    for (auto _ : state) {
+        auto copy = data;
+        plan.forward(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_FftBluestein2500);
+
+void BM_MixerSynthesis(benchmark::State& state) {
+    const auto paths_count = static_cast<std::size_t>(state.range(0));
+    FmcwParams fmcw;
+    hw::DechirpMixer mixer(fmcw);
+    std::vector<rf::PropagationPath> paths(paths_count);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        paths[i].round_trip_m = 5.0 + static_cast<double>(i);
+        paths[i].amplitude = 1e-6;
+    }
+    std::vector<double> out(fmcw.samples_per_sweep());
+    for (auto _ : state) {
+        std::fill(out.begin(), out.end(), 0.0);
+        mixer.synthesize(paths, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["paths"] = static_cast<double>(paths_count);
+}
+BENCHMARK(BM_MixerSynthesis)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_ChannelBodyPaths(benchmark::State& state) {
+    rf::ChannelConfig config;
+    rf::Antenna tx{{0, 0, 1.3}, {0, 1, 0}, {}};
+    std::vector<rf::Antenna> rx = {rf::Antenna{{-1, 0, 1.3}, {0, 1, 0}, {}},
+                                   rf::Antenna{{1, 0, 1.3}, {0, 1, 0}, {}},
+                                   rf::Antenna{{0, 0, 0.3}, {0, 1, 0}, {}}};
+    rf::Scene scene;
+    for (int i = 0; i < 5; ++i)
+        scene.walls.emplace_back(geom::Vec3{0, 2.0 + i, 1.5}, geom::Vec3{0, 1, 0},
+                                 geom::Vec3{1, 0, 0}, 4.0, 1.5,
+                                 rf::materials::sheetrock());
+    rf::Channel channel(config, tx, rx, scene);
+    std::vector<rf::BodyScatterer> body(7);
+    for (std::size_t i = 0; i < body.size(); ++i)
+        body[i] = {{0.5, 5.0 + 0.1 * static_cast<double>(i), 1.0}, 0.5, 0.0};
+    for (auto _ : state) {
+        for (std::size_t rx_i = 0; rx_i < 3; ++rx_i)
+            benchmark::DoNotOptimize(channel.body_paths(rx_i, body));
+    }
+}
+BENCHMARK(BM_ChannelBodyPaths)->Unit(benchmark::kMicrosecond);
+
+void BM_ContourExtraction(benchmark::State& state) {
+    core::PipelineConfig config;
+    core::ContourTracker tracker(config);
+    std::mt19937 rng(1);
+    std::normal_distribution<double> dist(0.0, 1.0);
+    std::vector<double> magnitude(2048);
+    for (auto& v : magnitude) v = std::abs(dist(rng));
+    magnitude[300] = 40.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tracker.extract(magnitude, 0.108));
+}
+BENCHMARK(BM_ContourExtraction)->Unit(benchmark::kMicrosecond);
+
+void BM_ScalarKalman(benchmark::State& state) {
+    dsp::ScalarKalman kf(1.5, 0.15);
+    double v = 10.0;
+    for (auto _ : state) {
+        v += 0.01;
+        benchmark::DoNotOptimize(kf.update(v, 0.0125));
+    }
+}
+BENCHMARK(BM_ScalarKalman);
+
+void BM_PositionKalman(benchmark::State& state) {
+    dsp::PositionKalman kf(2.0, 0.14);
+    double v = 0.0;
+    for (auto _ : state) {
+        v += 0.01;
+        benchmark::DoNotOptimize(kf.update({v, 5.0, 1.0}, 0.0125));
+    }
+}
+BENCHMARK(BM_PositionKalman);
+
+}  // namespace
+
+BENCHMARK_MAIN();

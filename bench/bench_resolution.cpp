@@ -1,0 +1,83 @@
+// Reproduces the FMCW design math of paper Section 4.1 (Eq. 1-4) and
+// verifies the C/2B = 8.8 cm range resolution empirically with a
+// two-reflector separability sweep.
+//
+// Usage: bench_resolution [--csv out.csv]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/constants.hpp"
+#include "common/table.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "hw/mixer.hpp"
+
+using namespace witrack;
+
+namespace {
+
+/// Can two equal reflectors separated by `delta_m` (one-way) be resolved as
+/// two distinct spectral peaks?
+bool resolvable(const FmcwParams& fmcw, double delta_m) {
+    hw::DechirpMixer mixer(fmcw);
+    std::vector<rf::PropagationPath> paths(2);
+    paths[0].round_trip_m = 10.0;
+    paths[0].amplitude = 1.0;
+    paths[1].round_trip_m = 10.0 + 2.0 * delta_m;  // one-way delta -> 2x round trip
+    paths[1].amplitude = 1.0;
+    const auto sweep = mixer.synthesize(paths);
+    const auto spectrum = dsp::fft_forward_real(sweep);
+    std::vector<double> magnitude(sweep.size() / 2);
+    for (std::size_t k = 0; k < magnitude.size(); ++k)
+        magnitude[k] = std::abs(spectrum[k]);
+    const auto peaks = dsp::find_peaks(magnitude, 0.2 * static_cast<double>(sweep.size()) / 2.0, 1);
+    return peaks.size() >= 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliArgs args(argc, argv);
+    FmcwParams fmcw;
+
+    print_banner("FMCW design parameters (paper Section 4.1 / Section 7)");
+    Table params({"quantity", "paper", "this implementation"});
+    params.add_row({"swept bandwidth B", "1.69 GHz",
+                    Table::num(fmcw.bandwidth_hz / 1e9, 2) + " GHz"});
+    params.add_row({"sweep duration", "2.5 ms",
+                    Table::num(fmcw.sweep_duration_s * 1e3, 2) + " ms"});
+    params.add_row({"baseband sample rate", "1 MHz",
+                    Table::num(fmcw.sample_rate_hz / 1e6, 2) + " MHz"});
+    params.add_row({"transmit power", "0.75 mW",
+                    Table::num(fmcw.tx_power_w * 1e3, 2) + " mW"});
+    params.add_row({"sweeps averaged per frame", "5",
+                    std::to_string(fmcw.sweeps_per_frame)});
+    params.add_row({"frame duration", "12.5 ms",
+                    Table::num(fmcw.frame_duration_s() * 1e3, 2) + " ms"});
+    params.add_row({"resolution C/2B (Eq. 3)", "8.8 cm",
+                    Table::num(fmcw.range_resolution_m() * 100, 2) + " cm"});
+    params.add_row({"expected 1D mapping error (~res/2)", "4.4 cm",
+                    Table::num(fmcw.range_resolution_m() * 50, 2) + " cm"});
+    params.print();
+
+    print_banner("Empirical two-reflector separability (synthesized sweeps)");
+    Table sep({"one-way separation (cm)", "resolved as two peaks"});
+    double first_resolved = -1.0;
+    for (double cm = 2.0; cm <= 20.0; cm += 1.0) {
+        const bool ok = resolvable(fmcw, cm / 100.0);
+        if (ok && first_resolved < 0) first_resolved = cm;
+        sep.add_row({Table::num(cm, 0), ok ? "yes" : "no"});
+    }
+    sep.print();
+
+    std::cout << "\nFirst resolvable separation: " << first_resolved
+              << " cm (theory: " << Table::num(fmcw.range_resolution_m() * 100, 1)
+              << " cm)\n"
+              << "Shape check (within ~1.5x of C/2B): "
+              << (first_resolved > 0 &&
+                          first_resolved <= 1.5 * fmcw.range_resolution_m() * 100
+                      ? "PASS"
+                      : "FAIL")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Appliance control by pointing (paper Section 6.1): "the user can turn her
+// monitor on or turn the lights off by simply pointing at these objects."
+//
+// A user stands in the room and points at each of three instrumented
+// appliances in turn; WiTrack estimates the pointing direction from the arm
+// lift/drop gesture and toggles the matched appliance through the (mock)
+// Insteon driver.
+//
+// Build & run:  ./build/examples/pointing_appliances
+#include <cstdio>
+#include <memory>
+
+#include "apps/appliances.hpp"
+#include "common/units.hpp"
+#include "core/pointing.hpp"
+#include "core/tof.hpp"
+#include "sim/scenario.hpp"
+
+using namespace witrack;
+
+int main() {
+    // The instrumented appliances (the paper used a lamp, a computer screen
+    // and automatic shades).
+    // Azimuth-only matching: the T-array's 1 m vertical baseline makes
+    // elevation far noisier than azimuth, so a practical controller matches
+    // appliances in the horizontal plane.
+    apps::ApplianceRegistry registry(deg_to_rad(35.0), /*horizontal_only=*/true);
+    registry.add("lamp", {2.2, 7.0, 1.2});
+    registry.add("screen", {-2.0, 6.5, 1.1});
+    registry.add("shades", {0.5, 9.8, 1.8});
+    apps::InsteonDriver driver;
+
+    const geom::Vec3 stand{0.0, 4.5, 0.0};
+    const geom::Vec3 shoulder{stand.x, stand.y, 1.3};
+
+    std::printf("WiTrack pointing control -- user at (%.1f, %.1f)\n\n", stand.x,
+                stand.y);
+
+    int correct = 0;
+    std::uint64_t gesture_seed = 3;
+    for (const auto& target : registry.appliances()) {
+        // One gesture toward this appliance.
+        sim::ScenarioConfig config;
+        config.through_wall = true;
+        config.seed = 100 + gesture_seed;
+        const geom::Vec3 dir = (target.position - shoulder).normalized();
+        sim::Scenario scenario(config, std::make_unique<sim::PointingScript>(
+                                           stand, dir, Rng(gesture_seed)));
+        gesture_seed += 11;
+
+        core::PipelineConfig pipeline;
+        pipeline.fmcw = config.fmcw;
+        core::TofEstimator tof(pipeline, 3);
+        std::vector<core::TofFrame> frames;
+        sim::Scenario::Frame frame;
+        while (scenario.next(frame))
+            frames.push_back(tof.process_frame(frame.sweeps, frame.time_s));
+
+        core::PointingEstimator estimator(pipeline, scenario.array());
+        const auto pointing = estimator.analyze(frames);
+        std::printf("pointing toward '%s': ", target.name.c_str());
+        if (!pointing) {
+            std::printf("gesture not detected\n");
+            continue;
+        }
+        const auto actuated = registry.actuate(*pointing, driver);
+        const double err_deg = rad_to_deg(geom::angle_between(pointing->direction, dir));
+        std::printf("azimuth %+.1f deg (err %.0f deg) -> %s\n",
+                    rad_to_deg(pointing->azimuth_rad), err_deg,
+                    actuated ? ("toggled '" + *actuated + "'").c_str()
+                             : "no appliance within the angular gate");
+        if (actuated && *actuated == target.name) ++correct;
+    }
+
+    std::printf("\nInsteon command log:\n");
+    for (const auto& command : driver.log())
+        std::printf("  %s -> %s\n", command.device.c_str(),
+                    command.turn_on ? "ON" : "OFF");
+    std::printf("\n%d/%zu appliances matched correctly\n", correct, registry.size());
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "apps/appliances.hpp"
+
+namespace witrack::apps {
+
+std::optional<std::size_t> ApplianceRegistry::match(
+    const core::PointingResult& pointing) const {
+    std::optional<std::size_t> best;
+    double best_angle = max_angle_rad_;
+    for (std::size_t i = 0; i < appliances_.size(); ++i) {
+        geom::Vec3 to_appliance = appliances_[i].position - pointing.hand_end;
+        geom::Vec3 ray = pointing.direction;
+        if (horizontal_only_) {
+            to_appliance.z = 0.0;
+            ray.z = 0.0;
+        }
+        if (to_appliance.norm() < 0.3) continue;  // standing on top of it
+        const double angle = geom::angle_between(to_appliance, ray);
+        if (angle <= best_angle) {
+            best_angle = angle;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<std::string> ApplianceRegistry::actuate(
+    const core::PointingResult& pointing, InsteonDriver& driver) {
+    const auto index = match(pointing);
+    if (!index) return std::nullopt;
+    Appliance& appliance = appliances_[*index];
+    appliance.powered_on = !appliance.powered_on;
+    driver.send(appliance.name, appliance.powered_on);
+    return appliance.name;
+}
+
+}  // namespace witrack::apps

@@ -1,0 +1,76 @@
+// Pointing-controlled appliances (paper Section 6.1): "Based on the current
+// 3D position of the user and the direction of her hand, WiTrack
+// automatically identifies the desired appliance from a small set ... and
+// issues a command via Insteon home drivers."
+//
+// ApplianceRegistry matches a pointing ray against registered appliance
+// positions; InsteonDriver is a mock home-automation bus that records the
+// commands it would send.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pointing.hpp"
+#include "geom/vec3.hpp"
+
+namespace witrack::apps {
+
+struct Appliance {
+    std::string name;
+    geom::Vec3 position;
+    bool powered_on = false;
+};
+
+/// Mock Insteon bus: records commands instead of driving hardware.
+class InsteonDriver {
+  public:
+    struct Command {
+        std::string device;
+        bool turn_on;
+    };
+
+    void send(const std::string& device, bool turn_on) {
+        log_.push_back({device, turn_on});
+    }
+    const std::vector<Command>& log() const { return log_; }
+    void clear() { log_.clear(); }
+
+  private:
+    std::vector<Command> log_;
+};
+
+class ApplianceRegistry {
+  public:
+    /// max_angle: widest acceptable angle between the pointing ray and the
+    /// ray from the hand to the appliance. horizontal_only matches in
+    /// azimuth alone -- practical when the antenna geometry (1 m vertical
+    /// baseline vs 2 m horizontal) makes elevation much noisier than
+    /// azimuth, as in the paper's T-array.
+    explicit ApplianceRegistry(double max_angle_rad = 0.35,
+                               bool horizontal_only = false)
+        : max_angle_rad_(max_angle_rad), horizontal_only_(horizontal_only) {}
+
+    void add(std::string name, const geom::Vec3& position) {
+        appliances_.push_back({std::move(name), position, false});
+    }
+
+    std::size_t size() const { return appliances_.size(); }
+    const std::vector<Appliance>& appliances() const { return appliances_; }
+
+    /// The appliance best aligned with a pointing result, if any is within
+    /// the angular threshold. Ties go to the smaller angle.
+    std::optional<std::size_t> match(const core::PointingResult& pointing) const;
+
+    /// Toggle the matched appliance through the driver; returns its name.
+    std::optional<std::string> actuate(const core::PointingResult& pointing,
+                                       InsteonDriver& driver);
+
+  private:
+    double max_angle_rad_;
+    bool horizontal_only_ = false;
+    std::vector<Appliance> appliances_;
+};
+
+}  // namespace witrack::apps

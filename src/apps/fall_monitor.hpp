@@ -1,0 +1,40 @@
+// Streaming fall monitor: wraps the tracker's elevation stream with the
+// fall detector and fires a callback on detected falls -- the elderly
+// monitoring application of paper Section 1 / 6.2.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/fall.hpp"
+#include "core/tracker.hpp"
+
+namespace witrack::apps {
+
+class FallMonitor {
+  public:
+    using FallCallback = std::function<void(const core::FallDetector::Analysis&)>;
+
+    explicit FallMonitor(core::FallDetectorConfig config = core::FallDetectorConfig{})
+        : detector_(config) {}
+
+    void on_fall(FallCallback callback) { callback_ = std::move(callback); }
+
+    /// Feed each smoothed track point; invokes the callback on detection.
+    void push(const core::TrackPoint& point) {
+        const auto analysis = detector_.push(point);
+        if (analysis) {
+            alerts_.push_back(*analysis);
+            if (callback_) callback_(*analysis);
+        }
+    }
+
+    const std::vector<core::FallDetector::Analysis>& alerts() const { return alerts_; }
+
+  private:
+    core::FallDetector detector_;
+    FallCallback callback_;
+    std::vector<core::FallDetector::Analysis> alerts_;
+};
+
+}  // namespace witrack::apps

@@ -1,0 +1,39 @@
+// Unit conversions used across the RF and DSP layers.
+#pragma once
+
+#include <cmath>
+
+namespace witrack {
+
+/// Convert a power ratio to decibels.
+inline double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Convert decibels to a power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert an amplitude (voltage) ratio to decibels.
+inline double amplitude_to_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Convert decibels to an amplitude (voltage) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Convert watts to dBm.
+inline double watt_to_dbm(double watt) { return 10.0 * std::log10(watt * 1e3); }
+
+/// Convert dBm to watts.
+inline double dbm_to_watt(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+/// Degrees to radians.
+inline constexpr double deg_to_rad(double deg) { return deg * M_PI / 180.0; }
+
+/// Radians to degrees.
+inline constexpr double rad_to_deg(double rad) { return rad * 180.0 / M_PI; }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_angle(double rad) {
+    double wrapped = std::remainder(rad, 2.0 * M_PI);
+    if (wrapped <= -M_PI) wrapped += 2.0 * M_PI;
+    return wrapped;
+}
+
+}  // namespace witrack

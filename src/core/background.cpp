@@ -1,0 +1,52 @@
+#include "core/background.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace witrack::core {
+
+void BackgroundSubtractor::train(const RangeProfile& profile) {
+    if (mode_ != BackgroundMode::kStaticTraining)
+        throw std::logic_error("BackgroundSubtractor: train() requires kStaticTraining");
+    if (learned_sum_.empty()) learned_sum_.assign(profile.spectrum.size(), {0.0, 0.0});
+    if (learned_sum_.size() != profile.spectrum.size())
+        throw std::invalid_argument("BackgroundSubtractor: spectrum size changed");
+    for (std::size_t i = 0; i < learned_sum_.size(); ++i)
+        learned_sum_[i] += profile.spectrum[i];
+    ++trained_count_;
+}
+
+std::vector<double> BackgroundSubtractor::subtract(const RangeProfile& profile) {
+    const std::size_t bins = profile.usable_bins;
+    std::vector<double> magnitude;
+
+    if (mode_ == BackgroundMode::kFrameDiff) {
+        if (!has_previous_) {
+            previous_ = profile.spectrum;
+            has_previous_ = true;
+            return magnitude;  // empty: nothing to difference yet
+        }
+        magnitude.resize(bins);
+        for (std::size_t i = 0; i < bins; ++i)
+            magnitude[i] = std::abs(profile.spectrum[i] - previous_[i]);
+        previous_ = profile.spectrum;
+        return magnitude;
+    }
+
+    // kStaticTraining
+    if (trained_count_ == 0) return magnitude;
+    magnitude.resize(bins);
+    const double scale = 1.0 / static_cast<double>(trained_count_);
+    for (std::size_t i = 0; i < bins; ++i)
+        magnitude[i] = std::abs(profile.spectrum[i] - learned_sum_[i] * scale);
+    return magnitude;
+}
+
+void BackgroundSubtractor::reset() {
+    previous_.clear();
+    learned_sum_.clear();
+    trained_count_ = 0;
+    has_previous_ = false;
+}
+
+}  // namespace witrack::core

@@ -1,0 +1,55 @@
+// Background subtraction (paper Section 4.2). Static reflectors -- walls,
+// furniture, the "flash effect" -- keep constant TOF, so subtracting the
+// previous frame's complex spectrum from the current one cancels them while
+// preserving anything that moved.
+//
+// Two modes:
+//  * kFrameDiff (the paper's approach): X_t - X_{t-1}. Removes everything
+//    static, including a static person.
+//  * kStaticTraining (the paper's Section 10 future-work extension): learn
+//    the empty-room spectrum over a training period and subtract that
+//    instead, so a static person remains visible.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "core/range_fft.hpp"
+
+namespace witrack::core {
+
+enum class BackgroundMode {
+    kFrameDiff,
+    kStaticTraining,
+};
+
+class BackgroundSubtractor {
+  public:
+    explicit BackgroundSubtractor(BackgroundMode mode = BackgroundMode::kFrameDiff)
+        : mode_(mode) {}
+
+    BackgroundMode mode() const { return mode_; }
+
+    /// kStaticTraining: accumulate one empty-scene frame into the learned
+    /// background. Call for each training frame before tracking starts.
+    void train(const RangeProfile& profile);
+    std::size_t training_frames() const { return trained_count_; }
+
+    /// Subtract the background and return the magnitude profile over the
+    /// usable bins. Returns an empty vector for the first frame in
+    /// kFrameDiff mode (no previous frame yet) or when untrained in
+    /// kStaticTraining mode.
+    std::vector<double> subtract(const RangeProfile& profile);
+
+    void reset();
+
+  private:
+    BackgroundMode mode_;
+    std::vector<dsp::cplx> previous_;
+    std::vector<dsp::cplx> learned_sum_;
+    std::size_t trained_count_ = 0;
+    bool has_previous_ = false;
+};
+
+}  // namespace witrack::core

@@ -1,0 +1,174 @@
+#include "core/contour.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/peaks.hpp"
+
+namespace witrack::core {
+
+namespace {
+
+struct BinWindow {
+    std::size_t lo, hi;  // [lo, hi)
+};
+
+BinWindow usable_window(const PipelineConfig& config, std::size_t bins,
+                        double bin_round_trip_m) {
+    const auto lo = static_cast<std::size_t>(
+        std::max(1.0, config.min_round_trip_m / bin_round_trip_m));
+    const auto hi = std::min(
+        bins, static_cast<std::size_t>(config.max_round_trip_m / bin_round_trip_m) + 1);
+    return {std::min(lo, bins), hi};
+}
+
+}  // namespace
+
+double ContourTracker::measure_extent(const std::vector<double>& magnitude,
+                                      double threshold, std::size_t lo, std::size_t hi,
+                                      double bin_round_trip_m) const {
+    double w_sum = 0.0, m1 = 0.0, m2 = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+        if (magnitude[i] < threshold) continue;
+        const double d = static_cast<double>(i) * bin_round_trip_m;
+        const double w = magnitude[i] * magnitude[i];
+        w_sum += w;
+        m1 += w * d;
+        m2 += w * d * d;
+    }
+    if (w_sum <= 0.0) return 0.0;
+    const double mean = m1 / w_sum;
+    return std::sqrt(std::max(0.0, m2 / w_sum - mean * mean));
+}
+
+std::vector<ContourPoint> ContourTracker::extract_peaks(
+    const std::vector<double>& magnitude, double bin_round_trip_m,
+    std::size_t max_peaks) const {
+    std::vector<ContourPoint> result;
+    if (magnitude.size() < 8 || max_peaks == 0) return result;
+
+    const auto [lo, hi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
+    if (lo + 4 >= hi) return result;
+
+    // Robust per-frame noise floor from the usable band; median magnitude is
+    // dominated by empty bins because the body occupies only a few.
+    std::vector<double> band(magnitude.begin() + static_cast<long>(lo),
+                             magnitude.begin() + static_cast<long>(hi));
+    const double floor = dsp::noise_floor(band, 50.0);
+    const double threshold = floor * config_.contour_threshold;
+
+    // Closest-first local maxima, kept at least 2 bins apart so one body
+    // echo is not double-counted.
+    const auto peaks = dsp::find_peaks(band, threshold, 3);
+    const double extent =
+        measure_extent(magnitude, threshold, lo, hi, bin_round_trip_m);
+
+    for (const auto& peak : peaks) {
+        if (result.size() >= max_peaks) break;
+        ContourPoint point;
+        point.detected = true;
+        point.round_trip_m =
+            (static_cast<double>(lo) + peak.interpolated) * bin_round_trip_m;
+        point.power = peak.value;
+        point.noise_floor = floor;
+        point.extent_m = extent;
+        result.push_back(point);
+    }
+    if (result.empty()) {
+        ContourPoint none;
+        none.noise_floor = floor;
+        none.extent_m = 0.0;
+        result.push_back(none);
+        result.clear();
+    }
+    return result;
+}
+
+ContourPoint ContourTracker::extract(const std::vector<double>& magnitude,
+                                     double bin_round_trip_m) const {
+    const auto peaks = extract_peaks(magnitude, bin_round_trip_m, 1);
+    if (!peaks.empty()) return peaks.front();
+    ContourPoint none;
+    if (magnitude.size() >= 8) {
+        const auto [lo, hi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
+        if (lo + 4 < hi) {
+            std::vector<double> band(magnitude.begin() + static_cast<long>(lo),
+                                     magnitude.begin() + static_cast<long>(hi));
+            none.noise_floor = dsp::noise_floor(band, 50.0);
+        }
+    }
+    return none;
+}
+
+ContourPoint ContourTracker::extract_near(const std::vector<double>& magnitude,
+                                          double bin_round_trip_m, double center_m,
+                                          double window_m, double relax) const {
+    ContourPoint point;
+    if (magnitude.size() < 8) return point;
+    const auto [glo, ghi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
+    if (glo + 4 >= ghi) return point;
+
+    // Noise floor still comes from the full usable band.
+    std::vector<double> band(magnitude.begin() + static_cast<long>(glo),
+                             magnitude.begin() + static_cast<long>(ghi));
+    const double floor = dsp::noise_floor(band, 50.0);
+    const double threshold = floor * config_.contour_threshold * relax;
+
+    const double lo_m = std::max(center_m - window_m,
+                                 static_cast<double>(glo) * bin_round_trip_m);
+    const double hi_m = std::min(center_m + window_m,
+                                 static_cast<double>(ghi - 1) * bin_round_trip_m);
+    const auto lo = static_cast<std::size_t>(lo_m / bin_round_trip_m);
+    const auto hi = static_cast<std::size_t>(hi_m / bin_round_trip_m) + 1;
+    if (lo + 2 >= hi || hi > magnitude.size()) return point;
+
+    // Strongest bin inside the gate (the gate is narrow, so "strongest"
+    // and "closest" coincide for a single body).
+    std::size_t best = lo + 1;
+    for (std::size_t i = lo + 1; i + 1 < hi; ++i)
+        if (magnitude[i] > magnitude[best]) best = i;
+    if (magnitude[best] < threshold) {
+        point.noise_floor = floor;
+        return point;
+    }
+    point.detected = true;
+    point.round_trip_m =
+        dsp::parabolic_peak_position(magnitude, best) * bin_round_trip_m;
+    point.power = magnitude[best];
+    point.noise_floor = floor;
+    point.extent_m =
+        measure_extent(magnitude, floor * config_.contour_threshold, glo, ghi,
+                       bin_round_trip_m);
+    return point;
+}
+
+ContourPoint ContourTracker::extract_strongest(const std::vector<double>& magnitude,
+                                               double bin_round_trip_m) const {
+    ContourPoint point;
+    if (magnitude.size() < 8) return point;
+    const auto [lo, hi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
+    if (lo + 4 >= hi) return point;
+
+    std::vector<double> band(magnitude.begin() + static_cast<long>(lo),
+                             magnitude.begin() + static_cast<long>(hi));
+    const double floor = dsp::noise_floor(band, 50.0);
+    const double threshold = floor * config_.contour_threshold;
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < band.size(); ++i)
+        if (band[i] > band[best]) best = i;
+    if (band[best] < threshold) {
+        point.noise_floor = floor;
+        return point;
+    }
+    point.detected = true;
+    point.round_trip_m =
+        (static_cast<double>(lo) + dsp::parabolic_peak_position(band, best)) *
+        bin_round_trip_m;
+    point.power = band[best];
+    point.noise_floor = floor;
+    point.extent_m = measure_extent(magnitude, threshold, lo, hi, bin_round_trip_m);
+    return point;
+}
+
+}  // namespace witrack::core

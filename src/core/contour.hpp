@@ -1,0 +1,61 @@
+// Bottom-contour tracking (paper Section 4.3). Among all strong reflectors
+// that survive background subtraction, the direct body reflection has
+// travelled the shortest path, so WiTrack tracks the *closest* local
+// maximum that is substantially above the noise floor -- not the strongest
+// peak, which may be dynamic multipath.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/range_fft.hpp"
+
+namespace witrack::core {
+
+struct ContourPoint {
+    bool detected = false;
+    double round_trip_m = 0.0;  ///< sub-bin interpolated round-trip distance
+    double power = 0.0;         ///< magnitude at the contour peak
+    double noise_floor = 0.0;   ///< estimated per-frame noise floor
+    /// Power-weighted spread (std dev, meters) of the above-threshold
+    /// energy: small for an arm, large for a whole moving body (Section 6.1).
+    double extent_m = 0.0;
+};
+
+class ContourTracker {
+  public:
+    explicit ContourTracker(const PipelineConfig& config) : config_(config) {}
+
+    /// Extract the bottom contour from one subtracted magnitude profile.
+    ContourPoint extract(const std::vector<double>& magnitude,
+                         double bin_round_trip_m) const;
+
+    /// Multi-person extension: the `max_peaks` closest qualifying local
+    /// maxima, nearest first.
+    std::vector<ContourPoint> extract_peaks(const std::vector<double>& magnitude,
+                                            double bin_round_trip_m,
+                                            std::size_t max_peaks) const;
+
+    /// The strongest (not closest) peak -- the alternative the paper rejects;
+    /// kept for the ablation bench.
+    ContourPoint extract_strongest(const std::vector<double>& magnitude,
+                                   double bin_round_trip_m) const;
+
+    /// Gated re-detection around a predicted round trip: once a track is
+    /// established, a weaker echo near the prediction is still the person
+    /// (human motion is continuous, Section 4.4), so the detection
+    /// threshold relaxes by `relax` inside +/- window_m of `center_m`.
+    ContourPoint extract_near(const std::vector<double>& magnitude,
+                              double bin_round_trip_m, double center_m,
+                              double window_m, double relax = 0.5) const;
+
+  private:
+    double measure_extent(const std::vector<double>& magnitude, double threshold,
+                          std::size_t lo, std::size_t hi,
+                          double bin_round_trip_m) const;
+
+    PipelineConfig config_;
+};
+
+}  // namespace witrack::core

@@ -1,0 +1,62 @@
+#include "core/denoise.hpp"
+
+#include <cmath>
+
+namespace witrack::core {
+
+TofDenoiser::TofDenoiser(const PipelineConfig& config)
+    : config_(config),
+      kalman_(config.kalman_process_noise, config.kalman_measurement_noise) {}
+
+void TofDenoiser::accept(double measurement, double dt) {
+    last_value_ = kalman_.update(measurement, dt);
+    outlier_streak_ = 0;
+}
+
+std::optional<double> TofDenoiser::update(const ContourPoint& contour, double dt) {
+    if (!contour.detected) {
+        // Interpolation (Section 4.4): a static person produces no
+        // background-subtracted energy; hold the last estimate.
+        outlier_streak_ = 0;
+        return last_value_;
+    }
+
+    if (!last_value_) {
+        accept(contour.round_trip_m, dt);
+        return last_value_;
+    }
+
+    const double max_jump = config_.max_contour_jump_m;
+    const double jump = std::abs(contour.round_trip_m - *last_value_);
+
+    if (jump > max_jump) {
+        ++outlier_streak_;
+        const bool closer = contour.round_trip_m < *last_value_;
+        closer_streak_ = closer ? closer_streak_ + 1 : 0;
+        // A stable closer echo means the track was riding dynamic multipath
+        // (the direct path is always shortest, Section 4.3): re-lock fast.
+        // A farther echo needs much more persistence (lost track).
+        const bool relock =
+            (closer && closer_streak_ >= config_.reacquire_closer_frames) ||
+            outlier_streak_ >= config_.reacquire_frames;
+        if (relock) {
+            kalman_.reset();
+            accept(contour.round_trip_m, dt);
+            closer_streak_ = 0;
+        }
+        return last_value_;
+    }
+
+    closer_streak_ = 0;
+    accept(contour.round_trip_m, dt);
+    return last_value_;
+}
+
+void TofDenoiser::reset() {
+    kalman_.reset();
+    last_value_.reset();
+    outlier_streak_ = 0;
+    closer_streak_ = 0;
+}
+
+}  // namespace witrack::core

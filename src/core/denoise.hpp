@@ -1,0 +1,44 @@
+// TOF denoising (paper Section 4.4): outlier rejection against impossible
+// jumps, interpolation (hold) while the person is static, and Kalman
+// smoothing of each antenna's round-trip distance stream.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/contour.hpp"
+#include "core/params.hpp"
+#include "dsp/kalman.hpp"
+
+namespace witrack::core {
+
+class TofDenoiser {
+  public:
+    explicit TofDenoiser(const PipelineConfig& config);
+
+    /// Feed one contour observation (dt seconds after the previous one);
+    /// returns the denoised round-trip distance, or nullopt before the
+    /// first detection.
+    std::optional<double> update(const ContourPoint& contour, double dt);
+
+    /// Number of consecutive outliers currently being rejected.
+    std::size_t outlier_streak() const { return outlier_streak_; }
+
+    bool tracking() const { return last_value_.has_value(); }
+
+    /// Last accepted (filtered) round-trip distance, if any.
+    const std::optional<double>& last_value() const { return last_value_; }
+
+    void reset();
+
+  private:
+    void accept(double measurement, double dt);
+
+    PipelineConfig config_;
+    dsp::ScalarKalman kalman_;
+    std::optional<double> last_value_;
+    std::size_t outlier_streak_ = 0;
+    std::size_t closer_streak_ = 0;
+};
+
+}  // namespace witrack::core

@@ -1,0 +1,146 @@
+#include "core/fall.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/stats.hpp"
+
+namespace witrack::core {
+
+std::string activity_name(Activity activity) {
+    switch (activity) {
+        case Activity::kWalk: return "walk";
+        case Activity::kSitChair: return "sit-chair";
+        case Activity::kSitFloor: return "sit-floor";
+        case Activity::kFall: return "fall";
+    }
+    return "unknown";
+}
+
+std::vector<double> FallDetector::smoothed_elevations(
+    const std::vector<TrackPoint>& track) const {
+    std::vector<double> z(track.size());
+    if (track.empty()) return z;
+
+    // Window size from the track's own frame spacing. A *median* filter is
+    // used so that isolated solver spikes cannot fake a threshold crossing.
+    double dt = 0.0125;
+    if (track.size() > 1)
+        dt = std::max(1e-4, (track.back().time_s - track.front().time_s) /
+                                static_cast<double>(track.size() - 1));
+    const auto half = static_cast<std::size_t>(
+        std::max(1.0, config_.smoothing_window_s / dt / 2.0));
+
+    std::vector<double> window;
+    for (std::size_t i = 0; i < track.size(); ++i) {
+        const std::size_t lo = i >= half ? i - half : 0;
+        const std::size_t hi = std::min(track.size(), i + half + 1);
+        window.clear();
+        for (std::size_t j = lo; j < hi; ++j) window.push_back(track[j].position.z);
+        z[i] = dsp::median(window);
+    }
+    return z;
+}
+
+FallDetector::Analysis FallDetector::analyze(const std::vector<TrackPoint>& track) const {
+    Analysis out;
+    if (track.size() < 8) return out;
+
+    const std::vector<double> z = smoothed_elevations(track);
+
+    // Standing level from the pre-descent portion (first 60% of the
+    // episode); a 75th percentile resists both noise spikes and the tail.
+    std::vector<double> head(z.begin(),
+                             z.begin() + static_cast<long>(z.size() * 6 / 10));
+    out.initial_elevation_m = dsp::percentile(head, 75.0);
+    const double t_end = track.back().time_s;
+    std::vector<double> tail;
+    for (std::size_t i = 0; i < track.size(); ++i)
+        if (track[i].time_s >= t_end - 1.0) tail.push_back(z[i]);
+    if (tail.empty()) tail.push_back(z.back());
+    out.final_elevation_m = dsp::median(tail);
+
+    out.drop_fraction =
+        out.initial_elevation_m > 0.0
+            ? (out.initial_elevation_m - out.final_elevation_m) / out.initial_elevation_m
+            : 0.0;
+
+    // Condition 1 (Section 6.2): significant elevation change.
+    if (out.drop_fraction < config_.min_drop_fraction) {
+        out.activity = Activity::kWalk;
+        return out;
+    }
+    // Condition 2: the final elevation must be close to the ground,
+    // otherwise the person ended on a chair.
+    if (out.final_elevation_m > config_.ground_level_m) {
+        out.activity = Activity::kSitChair;
+        return out;
+    }
+
+    // Condition 3: the change must have happened fast. Measure the 15-85%
+    // transition time of the descent with a dwell requirement: the low
+    // crossing only counts if the elevation *stays* low for 0.6 s, so a
+    // transient dip cannot fake a fast fall.
+    const double span = out.initial_elevation_m - out.final_elevation_m;
+    const double z_hi = out.initial_elevation_m - 0.15 * span;
+    const double z_lo = out.final_elevation_m + 0.15 * span;
+
+    double dt = 0.0125;
+    if (track.size() > 1)
+        dt = std::max(1e-4, (track.back().time_s - track.front().time_s) /
+                                static_cast<double>(track.size() - 1));
+    const auto dwell = static_cast<std::size_t>(0.6 / dt);
+
+    std::size_t first_low = track.size();
+    for (std::size_t i = 0; i + 1 < track.size(); ++i) {
+        if (z[i] > z_lo) continue;
+        bool stays_low = true;
+        for (std::size_t j = i; j < std::min(track.size(), i + dwell); ++j)
+            if (z[j] > z_lo + 0.25 * span) {
+                stays_low = false;
+                break;
+            }
+        if (stays_low) {
+            first_low = i;
+            break;
+        }
+    }
+    std::size_t last_high = 0;
+    for (std::size_t i = 0; i < first_low; ++i)
+        if (z[i] >= z_hi) last_high = i;
+
+    if (first_low < track.size() && first_low > last_high)
+        out.drop_duration_s = track[first_low].time_s - track[last_high].time_s;
+
+    out.activity = (out.drop_duration_s > 0.0 &&
+                    out.drop_duration_s <= config_.max_fall_duration_s)
+                       ? Activity::kFall
+                       : Activity::kSitFloor;
+    return out;
+}
+
+std::optional<FallDetector::Analysis> FallDetector::push(const TrackPoint& point) {
+    window_.push_back(point);
+    // Keep a 6-second sliding window.
+    while (!window_.empty() && point.time_s - window_.front().time_s > 6.0)
+        window_.erase(window_.begin());
+    if (window_.size() < 32) return std::nullopt;
+
+    const Analysis analysis = analyze(window_);
+
+    if (in_low_state_) {
+        // Re-arm only when the person is clearly back up relative to the
+        // standing level recorded when the alert fired (the sliding window's
+        // own baseline collapses once it contains only post-fall samples).
+        if (point.position.z > 0.75 * standing_level_at_alert_) in_low_state_ = false;
+        return std::nullopt;
+    }
+    if (analysis.activity == Activity::kFall) {
+        in_low_state_ = true;
+        standing_level_at_alert_ = analysis.initial_elevation_m;
+        return analysis;
+    }
+    return std::nullopt;
+}
+
+}  // namespace witrack::core

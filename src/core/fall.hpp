@@ -1,0 +1,63 @@
+// Fall detection (paper Section 6.2): a fall is a *fast* elevation drop of
+// more than one third of the person's standing elevation that ends *near
+// the ground*. Checking the final elevation alone cannot separate a fall
+// from sitting on the floor; the drop rate disambiguates ("people fall
+// quicker than they sit").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/localize.hpp"
+
+namespace witrack::core {
+
+enum class Activity { kWalk, kSitChair, kSitFloor, kFall };
+
+std::string activity_name(Activity activity);
+
+struct FallDetectorConfig {
+    double ground_level_m = 0.45;    ///< final elevation below this = "on the ground"
+    double min_drop_fraction = 1.0 / 3.0;  ///< significant elevation change
+    double max_fall_duration_s = 0.62;     ///< 15-85% drop time separating fall from sit
+    double smoothing_window_s = 0.40;      ///< median-filter window before analysis
+};
+
+class FallDetector {
+  public:
+    explicit FallDetector(FallDetectorConfig config = FallDetectorConfig{})
+        : config_(config) {}
+
+    struct Analysis {
+        Activity activity = Activity::kWalk;
+        double initial_elevation_m = 0.0;
+        double final_elevation_m = 0.0;
+        double drop_fraction = 0.0;
+        double drop_duration_s = 0.0;  ///< 10-90% transition time (0 if no drop)
+    };
+
+    /// Offline classification of one recorded episode, as in the paper's
+    /// 132-experiment study (the data files were processed offline).
+    Analysis analyze(const std::vector<TrackPoint>& track) const;
+    Activity classify(const std::vector<TrackPoint>& track) const {
+        return analyze(track).activity;
+    }
+
+    /// Streaming interface: push smoothed track points; returns an Analysis
+    /// once a completed fall is detected (at most once per descent).
+    std::optional<Analysis> push(const TrackPoint& point);
+
+    const FallDetectorConfig& config() const { return config_; }
+
+  private:
+    std::vector<double> smoothed_elevations(const std::vector<TrackPoint>& track) const;
+
+    FallDetectorConfig config_;
+    std::vector<TrackPoint> window_;  // streaming state
+    bool in_low_state_ = false;
+    double standing_level_at_alert_ = 0.0;
+};
+
+}  // namespace witrack::core

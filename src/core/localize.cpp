@@ -1,0 +1,43 @@
+#include "core/localize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace witrack::core {
+
+Localizer::Localizer(const geom::ArrayGeometry& array, const PipelineConfig& config)
+    : solver_(array), config_(config) {}
+
+std::optional<TrackPoint> Localizer::locate_round_trips(
+    const std::vector<double>& round_trips, double time_s, bool compensate_depth) const {
+    const auto result = solver_.solve(round_trips);
+    if (!result.valid) return std::nullopt;
+
+    TrackPoint point;
+    point.time_s = time_s;
+    point.position = result.position;
+    point.residual_rms = result.residual_rms;
+    point.clamped = result.clamped;
+
+    if (compensate_depth && config_.surface_depth_m > 0.0) {
+        // WiTrack ranges to the body surface facing the device; push the
+        // estimate deeper along the horizontal device-to-body direction to
+        // obtain the body centre the ground truth reports (Section 8a).
+        geom::Vec3 away = point.position - solver_.geometry().tx;
+        away.z = 0.0;
+        if (away.norm() > 1e-6)
+            point.position += away.normalized() * config_.surface_depth_m;
+    }
+
+    // Elevation sanity: the body centre cannot be below the floor or above
+    // standing height plus margin.
+    point.position.z = std::clamp(point.position.z, 0.02, 2.6);
+    return point;
+}
+
+std::optional<TrackPoint> Localizer::locate(const TofFrame& frame) const {
+    if (!frame.all_valid()) return std::nullopt;
+    return locate_round_trips(frame.round_trips(), frame.time_s, true);
+}
+
+}  // namespace witrack::core

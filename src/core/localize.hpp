@@ -1,0 +1,45 @@
+// 3D localization stage (paper Section 5): turn the three (or more)
+// denoised round-trip distances into a 3D body-centre position via the
+// ellipsoid-intersection solver, then compensate for the body
+// surface-to-centre depth the way the paper's VICON comparison does
+// (Section 8a).
+#pragma once
+
+#include <optional>
+
+#include "core/params.hpp"
+#include "core/tof.hpp"
+#include "geom/array_geometry.hpp"
+#include "geom/solver.hpp"
+
+namespace witrack::core {
+
+struct TrackPoint {
+    double time_s = 0.0;
+    geom::Vec3 position;        ///< estimated body centre (world frame)
+    double residual_rms = 0.0;  ///< solver consistency metric [m]
+    bool clamped = false;       ///< solver clamped y into the antenna plane
+};
+
+class Localizer {
+  public:
+    Localizer(const geom::ArrayGeometry& array, const PipelineConfig& config);
+
+    /// Localize one TOF frame; nullopt until every antenna has a distance.
+    std::optional<TrackPoint> locate(const TofFrame& frame) const;
+
+    /// Localize explicit round-trip distances (used by the pointing
+    /// estimator for hand positions; `compensate_depth=false` because a
+    /// hand is a point, not an extended body).
+    std::optional<TrackPoint> locate_round_trips(const std::vector<double>& round_trips,
+                                                 double time_s,
+                                                 bool compensate_depth = true) const;
+
+    const geom::EllipsoidSolver& solver() const { return solver_; }
+
+  private:
+    geom::EllipsoidSolver solver_;
+    PipelineConfig config_;
+};
+
+}  // namespace witrack::core

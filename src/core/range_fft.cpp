@@ -1,0 +1,45 @@
+#include "core/range_fft.hpp"
+
+#include <stdexcept>
+
+namespace witrack::core {
+
+SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
+                               std::size_t fft_size)
+    : fmcw_(fmcw) {
+    fmcw_.validate();
+    const std::size_t n = fmcw_.samples_per_sweep();
+    fft_size_ = fft_size == 0 ? n : fft_size;
+    if (fft_size_ < n)
+        throw std::invalid_argument("SweepProcessor: fft_size below sweep length");
+    window_ = dsp::make_window(window, n);
+    // Normalize to unity coherent gain so thresholds are window-independent.
+    const double gain = dsp::window_gain(window_) / static_cast<double>(window_.size());
+    for (auto& w : window_) w /= gain;
+}
+
+RangeProfile SweepProcessor::process(const std::vector<std::vector<double>>& sweeps) const {
+    const std::size_t n = fmcw_.samples_per_sweep();
+    if (sweeps.empty()) throw std::invalid_argument("SweepProcessor: no sweeps");
+    for (const auto& s : sweeps)
+        if (s.size() != n)
+            throw std::invalid_argument("SweepProcessor: sweep length mismatch");
+
+    // Coherent time-domain average, windowed, zero-padded to the FFT size.
+    std::vector<double> averaged(fft_size_, 0.0);
+    const double scale = 1.0 / static_cast<double>(sweeps.size());
+    for (const auto& sweep : sweeps)
+        for (std::size_t i = 0; i < n; ++i) averaged[i] += sweep[i] * scale;
+    for (std::size_t i = 0; i < n; ++i) averaged[i] *= window_[i];
+
+    RangeProfile profile;
+    profile.spectrum = dsp::fft_forward_real(averaged);
+    // One FFT bin spans fs/Nfft in beat frequency; Eq. 4 maps that to
+    // round-trip meters via C/slope.
+    const double bin_hz = fmcw_.sample_rate_hz / static_cast<double>(fft_size_);
+    profile.bin_round_trip_m = kSpeedOfLight * bin_hz / fmcw_.slope();
+    profile.usable_bins = fft_size_ / 2;
+    return profile;
+}
+
+}  // namespace witrack::core

@@ -1,0 +1,48 @@
+// Sweep-to-range transform (paper Section 7): coherently average the
+// sweeps_per_frame sweeps of one frame in the time domain (human motion is
+// negligible over 12.5 ms, so the body reflection adds coherently while
+// noise adds incoherently), window, and FFT. One FFT bin maps to a
+// round-trip distance of C / (slope * Tsweep) meters (Eq. 4).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace witrack::core {
+
+/// Complex range spectrum of one averaged frame for one antenna.
+struct RangeProfile {
+    std::vector<dsp::cplx> spectrum;  ///< full FFT, size = samples_per_sweep
+    double bin_round_trip_m = 0.0;    ///< round-trip meters per FFT bin
+    std::size_t usable_bins = 0;      ///< bins below Nyquist (spectrum.size()/2)
+
+    double round_trip_of_bin(double bin) const { return bin * bin_round_trip_m; }
+    double bin_of_round_trip(double m) const { return m / bin_round_trip_m; }
+};
+
+class SweepProcessor {
+  public:
+    /// fft_size 0 = exactly one sweep (paper-literal); larger values
+    /// zero-pad for speed and finer bin spacing (same C/2B resolution).
+    SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
+                   std::size_t fft_size = 0);
+
+    /// Average the given sweeps (each samples_per_sweep long) and transform.
+    /// Accepts any sweep count >= 1 (the fast-capture path supplies an
+    /// already-averaged single sweep).
+    RangeProfile process(const std::vector<std::vector<double>>& sweeps) const;
+
+    const FmcwParams& params() const { return fmcw_; }
+
+  private:
+    FmcwParams fmcw_;
+    std::size_t fft_size_ = 0;
+    std::vector<double> window_;
+};
+
+}  // namespace witrack::core

@@ -1,0 +1,101 @@
+#include "core/tof.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace witrack::core {
+
+TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx)
+    : config_(config),
+      processor_(config.fmcw, config.window, config.fft_size),
+      contour_(config) {
+    if (num_rx == 0) throw std::invalid_argument("TofEstimator: need >= 1 antenna");
+    per_rx_.reserve(num_rx);
+    for (std::size_t i = 0; i < num_rx; ++i) per_rx_.emplace_back(config_);
+}
+
+std::vector<std::vector<double>> TofEstimator::antenna_sweeps(
+    const std::vector<std::vector<std::vector<double>>>& sweeps, std::size_t rx) const {
+    std::vector<std::vector<double>> gathered;
+    gathered.reserve(sweeps.size());
+    for (const auto& sweep : sweeps) {
+        if (rx >= sweep.size())
+            throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
+        gathered.push_back(sweep[rx]);
+    }
+    return gathered;
+}
+
+void TofEstimator::enable_static_training() {
+    for (auto& antenna : per_rx_)
+        antenna.background = BackgroundSubtractor(BackgroundMode::kStaticTraining);
+}
+
+void TofEstimator::train_background(
+    const std::vector<std::vector<std::vector<double>>>& sweeps) {
+    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
+        const auto profile = processor_.process(antenna_sweeps(sweeps, rx));
+        per_rx_[rx].background.train(profile);
+    }
+}
+
+TofFrame TofEstimator::process_frame(
+    const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
+    TofFrame frame;
+    frame.time_s = time_s;
+    frame.antennas.resize(per_rx_.size());
+
+    const double dt = config_.fmcw.frame_duration_s();
+
+    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
+        auto& antenna_state = per_rx_[rx];
+        auto& out = frame.antennas[rx];
+
+        const auto profile = processor_.process(antenna_sweeps(sweeps, rx));
+        auto magnitude = antenna_state.background.subtract(profile);
+
+        if (!magnitude.empty()) {
+            if (config_.contour_peaks > 1) {
+                out.peaks = contour_.extract_peaks(magnitude, profile.bin_round_trip_m,
+                                                   config_.contour_peaks);
+                out.contour = out.peaks.empty() ? ContourPoint{} : out.peaks.front();
+            } else {
+                out.contour = contour_.extract(magnitude, profile.bin_round_trip_m);
+            }
+
+            // Gated re-detection: if the global contour missed (weak echo)
+            // or jumped implausibly (multipath grabbed the contour), look
+            // for the person near where continuity says she must be.
+            const auto& last = antenna_state.denoiser.last_value();
+            if (last && config_.gate_window_m > 0.0) {
+                bool need_gate = !out.contour.detected;
+                if (!need_gate)
+                    need_gate = out.contour.round_trip_m >
+                                *last + config_.max_contour_jump_m;
+                if (!need_gate) {
+                    antenna_state.gated_streak = 0;
+                } else if (antenna_state.gated_streak < config_.gate_max_streak) {
+                    const auto gated = contour_.extract_near(
+                        magnitude, profile.bin_round_trip_m, *last,
+                        config_.gate_window_m, config_.gate_relax);
+                    if (gated.detected) {
+                        out.contour = gated;
+                        ++antenna_state.gated_streak;
+                    }
+                }
+            }
+        }
+        out.denoised_m = antenna_state.denoiser.update(out.contour, dt);
+        if (config_.record_profiles) out.profile = std::move(magnitude);
+    }
+    return frame;
+}
+
+void TofEstimator::reset() {
+    for (auto& antenna : per_rx_) {
+        antenna.background.reset();
+        antenna.denoiser.reset();
+    }
+}
+
+}  // namespace witrack::core

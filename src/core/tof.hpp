@@ -1,0 +1,104 @@
+// Per-antenna TOF estimation chain (paper Section 4 end to end): sweep
+// averaging + range FFT -> background subtraction -> bottom-contour
+// extraction -> denoising, for each receive antenna in parallel.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/background.hpp"
+#include "core/contour.hpp"
+#include "core/denoise.hpp"
+#include "core/params.hpp"
+#include "core/range_fft.hpp"
+
+namespace witrack::core {
+
+/// Per-antenna observations for one frame.
+struct AntennaFrame {
+    ContourPoint contour;                 ///< raw bottom-contour observation
+    std::optional<double> denoised_m;     ///< cleaned round-trip distance
+    std::vector<ContourPoint> peaks;      ///< multi-peak output (if enabled)
+    std::vector<double> profile;          ///< subtracted magnitudes (if recording)
+};
+
+struct TofFrame {
+    double time_s = 0.0;
+    std::vector<AntennaFrame> antennas;
+
+    bool all_valid() const {
+        if (antennas.empty()) return false;
+        for (const auto& a : antennas)
+            if (!a.denoised_m) return false;
+        return true;
+    }
+
+    std::vector<double> round_trips() const {
+        std::vector<double> d;
+        d.reserve(antennas.size());
+        for (const auto& a : antennas) d.push_back(a.denoised_m.value_or(0.0));
+        return d;
+    }
+
+    /// True when at least `quorum` antennas saw motion this frame.
+    bool motion_detected(std::size_t quorum = 2) const {
+        std::size_t n = 0;
+        for (const auto& a : antennas)
+            if (a.contour.detected) ++n;
+        return n >= quorum;
+    }
+
+    /// Mean reflection extent across detecting antennas (arm-vs-body
+    /// discriminator, Section 6.1).
+    double mean_extent_m() const {
+        double acc = 0.0;
+        std::size_t n = 0;
+        for (const auto& a : antennas)
+            if (a.contour.detected) {
+                acc += a.contour.extent_m;
+                ++n;
+            }
+        return n > 0 ? acc / static_cast<double>(n) : 0.0;
+    }
+};
+
+class TofEstimator {
+  public:
+    TofEstimator(const PipelineConfig& config, std::size_t num_rx);
+
+    /// Process one frame of raw sweeps. Layout: sweeps[sweep][rx][sample].
+    TofFrame process_frame(const std::vector<std::vector<std::vector<double>>>& sweeps,
+                           double time_s);
+
+    /// Static-training extension: learn the empty scene from these frames
+    /// (switches the background mode for all antennas).
+    void enable_static_training();
+    void train_background(const std::vector<std::vector<std::vector<double>>>& sweeps);
+
+    const PipelineConfig& config() const { return config_; }
+    std::size_t num_rx() const { return per_rx_.size(); }
+
+    void reset();
+
+  private:
+    struct PerAntenna {
+        BackgroundSubtractor background;
+        TofDenoiser denoiser;
+        std::size_t gated_streak = 0;  ///< consecutive gate-rescued frames
+        explicit PerAntenna(const PipelineConfig& config)
+            : background(BackgroundMode::kFrameDiff), denoiser(config) {}
+    };
+
+    /// Gather each antenna's sweeps from the [sweep][rx][sample] layout.
+    std::vector<std::vector<double>> antenna_sweeps(
+        const std::vector<std::vector<std::vector<double>>>& sweeps,
+        std::size_t rx) const;
+
+    PipelineConfig config_;
+    SweepProcessor processor_;
+    ContourTracker contour_;
+    std::vector<PerAntenna> per_rx_;
+};
+
+}  // namespace witrack::core

@@ -1,0 +1,61 @@
+#include "core/tracker.hpp"
+
+#include <chrono>
+
+namespace witrack::core {
+
+WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
+                               const geom::ArrayGeometry& array)
+    : config_(config),
+      tof_(config, array.rx.size()),
+      localizer_(array, config),
+      position_filter_(config.position_process_noise,
+                       config.position_measurement_noise) {}
+
+WiTrackTracker::FrameResult WiTrackTracker::process_frame(
+    const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    FrameResult result;
+    result.tof = tof_.process_frame(sweeps, time_s);
+    result.raw = localizer_.locate(result.tof);
+
+    const double dt = have_last_time_ ? (time_s - last_time_s_)
+                                      : config_.fmcw.frame_duration_s();
+    last_time_s_ = time_s;
+    have_last_time_ = true;
+
+    if (result.raw) {
+        raw_track_.push_back(*result.raw);
+        const auto smoothed = position_filter_.update(
+            {result.raw->position.x, result.raw->position.y, result.raw->position.z}, dt);
+        TrackPoint point = *result.raw;
+        point.position = {smoothed.x, smoothed.y, smoothed.z};
+        result.smoothed = point;
+        track_.push_back(point);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.processing_seconds = std::chrono::duration<double>(t1 - t0).count();
+    total_latency_s_ += result.processing_seconds;
+    max_latency_s_ = std::max(max_latency_s_, result.processing_seconds);
+    ++frames_;
+    return result;
+}
+
+double WiTrackTracker::mean_latency_s() const {
+    return frames_ > 0 ? total_latency_s_ / static_cast<double>(frames_) : 0.0;
+}
+
+void WiTrackTracker::reset() {
+    tof_.reset();
+    position_filter_.reset();
+    track_.clear();
+    raw_track_.clear();
+    total_latency_s_ = 0.0;
+    max_latency_s_ = 0.0;
+    frames_ = 0;
+    have_last_time_ = false;
+}
+
+}  // namespace witrack::core

@@ -1,0 +1,157 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace witrack::dsp {
+
+namespace {
+
+std::size_t next_power_of_two(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+Fft::Fft(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
+    if (n_ == 0) throw std::invalid_argument("Fft: size must be positive");
+
+    if (pow2_) {
+        // Bit-reversal permutation table.
+        bit_reversal_.resize(n_);
+        std::size_t log2n = 0;
+        while ((std::size_t{1} << log2n) < n_) ++log2n;
+        for (std::size_t i = 0; i < n_; ++i) {
+            std::size_t reversed = 0;
+            for (std::size_t bit = 0; bit < log2n; ++bit)
+                if (i & (std::size_t{1} << bit)) reversed |= std::size_t{1} << (log2n - 1 - bit);
+            bit_reversal_[i] = reversed;
+        }
+        // Twiddle factors for the largest stage; smaller stages stride into
+        // this table.
+        twiddles_.resize(n_ / 2);
+        for (std::size_t k = 0; k < n_ / 2; ++k) {
+            const double angle = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
+            twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
+        }
+        return;
+    }
+
+    // Bluestein setup. The chirp uses k^2 mod 2n in the exponent to avoid
+    // catastrophic precision loss for large k (pi*k^2/n wraps every 2n).
+    m_ = next_power_of_two(2 * n_ - 1);
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        const std::size_t k2 = (k * k) % (2 * n_);
+        const double angle = M_PI * static_cast<double>(k2) / static_cast<double>(n_);
+        chirp_[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+    conv_plan_ = std::make_unique<Fft>(m_);
+    chirp_spectrum_.assign(m_, cplx(0.0, 0.0));
+    chirp_spectrum_[0] = chirp_[0];
+    for (std::size_t k = 1; k < n_; ++k) {
+        chirp_spectrum_[k] = chirp_[k];
+        chirp_spectrum_[m_ - k] = chirp_[k];  // circular wrap for negative lags
+    }
+    conv_plan_->forward(chirp_spectrum_);
+}
+
+void Fft::radix2(std::vector<cplx>& data, bool inverse) const {
+    // Permute into bit-reversed order.
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t j = bit_reversal_[i];
+        if (i < j) std::swap(data[i], data[j]);
+    }
+    // Iterative butterflies.
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+        const std::size_t half = len >> 1;
+        const std::size_t stride = n_ / len;
+        for (std::size_t block = 0; block < n_; block += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+                cplx w = twiddles_[k * stride];
+                if (inverse) w = std::conj(w);
+                const cplx odd = data[block + k + half] * w;
+                const cplx even = data[block + k];
+                data[block + k] = even + odd;
+                data[block + k + half] = even - odd;
+            }
+        }
+    }
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n_);
+        for (auto& v : data) v *= scale;
+    }
+}
+
+void Fft::bluestein(std::vector<cplx>& data, bool inverse) const {
+    // DFT via chirp-z: X_k = conj(b_k) * IFFT(FFT(a.*conj(b)) .* FFT(b))_k,
+    // where b is the quadratic chirp. The inverse transform reuses the
+    // forward machinery through conjugation.
+    if (inverse) {
+        for (auto& v : data) v = std::conj(v);
+        bluestein(data, false);
+        const double scale = 1.0 / static_cast<double>(n_);
+        for (auto& v : data) v = std::conj(v) * scale;
+        return;
+    }
+
+    std::vector<cplx> work(m_, cplx(0.0, 0.0));
+    for (std::size_t k = 0; k < n_; ++k) work[k] = data[k] * std::conj(chirp_[k]);
+    conv_plan_->forward(work);
+    for (std::size_t k = 0; k < m_; ++k) work[k] *= chirp_spectrum_[k];
+    conv_plan_->inverse(work);
+    for (std::size_t k = 0; k < n_; ++k) data[k] = work[k] * std::conj(chirp_[k]);
+}
+
+void Fft::forward(std::vector<cplx>& data) const {
+    if (data.size() != n_) throw std::invalid_argument("Fft::forward: size mismatch");
+    if (pow2_)
+        radix2(data, false);
+    else
+        bluestein(data, false);
+}
+
+void Fft::inverse(std::vector<cplx>& data) const {
+    if (data.size() != n_) throw std::invalid_argument("Fft::inverse: size mismatch");
+    if (pow2_)
+        radix2(data, true);
+    else
+        bluestein(data, true);
+}
+
+std::vector<cplx> Fft::forward_real(const std::vector<double>& input) const {
+    if (input.size() != n_) throw std::invalid_argument("Fft::forward_real: size mismatch");
+    std::vector<cplx> data(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i] = cplx(input[i], 0.0);
+    forward(data);
+    return data;
+}
+
+const Fft& fft_plan(std::size_t n) {
+    static std::mutex mutex;
+    static std::unordered_map<std::size_t, std::unique_ptr<Fft>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(n);
+    if (it == cache.end()) it = cache.emplace(n, std::make_unique<Fft>(n)).first;
+    return *it->second;
+}
+
+std::vector<cplx> fft_forward(std::vector<cplx> data) {
+    fft_plan(data.size()).forward(data);
+    return data;
+}
+
+std::vector<cplx> fft_inverse(std::vector<cplx> data) {
+    fft_plan(data.size()).inverse(data);
+    return data;
+}
+
+std::vector<cplx> fft_forward_real(const std::vector<double>& input) {
+    return fft_plan(input.size()).forward_real(input);
+}
+
+}  // namespace witrack::dsp

@@ -1,0 +1,72 @@
+// FFT engine for the range transform (paper Section 7: "The signal from each
+// receiving antenna is transformed to the frequency domain using an FFT whose
+// size matches the FMCW sweep period").
+//
+// The sweep period (2.5 ms at 1 MS/s) gives N = 2500 samples, which is not a
+// power of two, so the engine implements both an iterative radix-2
+// Cooley-Tukey transform and Bluestein's chirp-z algorithm for arbitrary N.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace witrack::dsp {
+
+using cplx = std::complex<double>;
+
+/// Planned FFT of a fixed size. Plans precompute twiddle factors (and, for
+/// non-power-of-two sizes, the Bluestein chirp spectrum), so repeated
+/// transforms of the same size are cheap. Plans are immutable after
+/// construction and safe to share across threads.
+class Fft {
+  public:
+    explicit Fft(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /// In-place forward DFT: X_k = sum_n x_n exp(-2*pi*i*n*k/N).
+    void forward(std::vector<cplx>& data) const;
+
+    /// In-place inverse DFT, normalized by 1/N so inverse(forward(x)) == x.
+    void inverse(std::vector<cplx>& data) const;
+
+    /// Forward DFT of a real input sequence; returns the full complex
+    /// spectrum of length size().
+    std::vector<cplx> forward_real(const std::vector<double>& input) const;
+
+    static bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+  private:
+    void radix2(std::vector<cplx>& data, bool inverse) const;
+    void bluestein(std::vector<cplx>& data, bool inverse) const;
+
+    std::size_t n_ = 0;
+    bool pow2_ = false;
+
+    // Radix-2 tables (used directly when pow2_, and by the Bluestein
+    // convolution plan otherwise).
+    std::vector<std::size_t> bit_reversal_;
+    std::vector<cplx> twiddles_;  // exp(-2*pi*i*k/n) for k in [0, n/2)
+
+    // Bluestein state: convolution length m_ (power of two >= 2n-1), the
+    // quadratic chirp b_k = exp(+i*pi*k^2/n), and the forward FFT of the
+    // zero-padded, index-wrapped chirp.
+    std::size_t m_ = 0;
+    std::vector<cplx> chirp_;
+    std::vector<cplx> chirp_spectrum_;
+    std::unique_ptr<Fft> conv_plan_;
+};
+
+/// Process-wide plan cache: returns a shared immutable plan for size n.
+/// The range pipeline transforms thousands of sweeps of identical length,
+/// so caching the plan dominates performance.
+const Fft& fft_plan(std::size_t n);
+
+/// Convenience wrappers using the plan cache.
+std::vector<cplx> fft_forward(std::vector<cplx> data);
+std::vector<cplx> fft_inverse(std::vector<cplx> data);
+std::vector<cplx> fft_forward_real(const std::vector<double>& input);
+
+}  // namespace witrack::dsp

@@ -1,0 +1,140 @@
+#include "dsp/kalman.hpp"
+
+#include <stdexcept>
+
+namespace witrack::dsp {
+
+ScalarKalman::ScalarKalman(double process_noise, double measurement_noise)
+    : q_(process_noise), r_(measurement_noise) {
+    if (process_noise <= 0 || measurement_noise <= 0)
+        throw std::invalid_argument("ScalarKalman: noise parameters must be positive");
+    reset();
+}
+
+void ScalarKalman::reset() {
+    state_ = Vector<2>();
+    covariance_ = Matrix<2, 2>::identity() * 1e3;
+    initialized_ = false;
+}
+
+void ScalarKalman::predict(double dt) {
+    // F = [1 dt; 0 1], discrete white-noise-acceleration process noise.
+    Matrix<2, 2> f = Matrix<2, 2>::identity();
+    f(0, 1) = dt;
+    const double q2 = q_ * q_;
+    Matrix<2, 2> qm;
+    qm(0, 0) = 0.25 * dt * dt * dt * dt * q2;
+    qm(0, 1) = qm(1, 0) = 0.5 * dt * dt * dt * q2;
+    qm(1, 1) = dt * dt * q2;
+    state_ = f * state_;
+    covariance_ = f * covariance_ * f.transpose() + qm;
+}
+
+double ScalarKalman::update(double measurement, double dt) {
+    if (!initialized_) {
+        state_(0, 0) = measurement;
+        state_(1, 0) = 0.0;
+        covariance_ = Matrix<2, 2>::identity();
+        covariance_(0, 0) = r_ * r_;
+        covariance_(1, 1) = q_ * q_;
+        initialized_ = true;
+        return measurement;
+    }
+    predict(dt);
+    // Measurement H = [1 0].
+    const double innovation = measurement - state_(0, 0);
+    const double s = covariance_(0, 0) + r_ * r_;
+    const double k0 = covariance_(0, 0) / s;
+    const double k1 = covariance_(1, 0) / s;
+    state_(0, 0) += k0 * innovation;
+    state_(1, 0) += k1 * innovation;
+    // Joseph-free covariance update: P = (I - K H) P.
+    Matrix<2, 2> p = covariance_;
+    covariance_(0, 0) = (1.0 - k0) * p(0, 0);
+    covariance_(0, 1) = (1.0 - k0) * p(0, 1);
+    covariance_(1, 0) = p(1, 0) - k1 * p(0, 0);
+    covariance_(1, 1) = p(1, 1) - k1 * p(0, 1);
+    return state_(0, 0);
+}
+
+double ScalarKalman::predict_only(double dt) {
+    if (!initialized_) return 0.0;
+    predict(dt);
+    return state_(0, 0);
+}
+
+PositionKalman::PositionKalman(double process_noise, double measurement_noise)
+    : q_(process_noise), r_(measurement_noise) {
+    if (process_noise <= 0 || measurement_noise <= 0)
+        throw std::invalid_argument("PositionKalman: noise parameters must be positive");
+    reset();
+}
+
+void PositionKalman::reset() {
+    state_ = Vector<6>();
+    covariance_ = Matrix<6, 6>::identity() * 1e3;
+    initialized_ = false;
+}
+
+void PositionKalman::predict(double dt) {
+    Matrix<6, 6> f = Matrix<6, 6>::identity();
+    for (std::size_t axis = 0; axis < 3; ++axis) f(axis, axis + 3) = dt;
+    const double q2 = q_ * q_;
+    Matrix<6, 6> qm;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+        qm(axis, axis) = 0.25 * dt * dt * dt * dt * q2;
+        qm(axis, axis + 3) = qm(axis + 3, axis) = 0.5 * dt * dt * dt * q2;
+        qm(axis + 3, axis + 3) = dt * dt * q2;
+    }
+    state_ = f * state_;
+    covariance_ = f * covariance_ * f.transpose() + qm;
+}
+
+PositionKalman::Position PositionKalman::update(const Position& measurement, double dt) {
+    if (!initialized_) {
+        state_(0, 0) = measurement.x;
+        state_(1, 0) = measurement.y;
+        state_(2, 0) = measurement.z;
+        covariance_ = Matrix<6, 6>::identity();
+        for (std::size_t axis = 0; axis < 3; ++axis) {
+            covariance_(axis, axis) = r_ * r_;
+            covariance_(axis + 3, axis + 3) = q_ * q_;
+        }
+        initialized_ = true;
+        return measurement;
+    }
+    predict(dt);
+    // H = [I3 | 0]; innovation covariance S = H P H^T + R.
+    Matrix<3, 3> s;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c) s(r, c) = covariance_(r, c);
+    for (std::size_t i = 0; i < 3; ++i) s(i, i) += r_ * r_;
+    const Matrix<3, 3> s_inv = s.inverse();
+
+    // K = P H^T S^-1 is 6x3; P H^T is the first three columns of P.
+    Matrix<6, 3> pht;
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 3; ++c) pht(r, c) = covariance_(r, c);
+    const Matrix<6, 3> k = pht * s_inv;
+
+    Vector<3> innovation;
+    innovation(0, 0) = measurement.x - state_(0, 0);
+    innovation(1, 0) = measurement.y - state_(1, 0);
+    innovation(2, 0) = measurement.z - state_(2, 0);
+    state_ = state_ + k * innovation;
+
+    // P = (I - K H) P ; K H is 6x6 with only the first three columns of K.
+    Matrix<6, 6> kh;
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 3; ++c) kh(r, c) = k(r, c);
+    covariance_ = (Matrix<6, 6>::identity() - kh) * covariance_;
+    return position();
+}
+
+PositionKalman::Position PositionKalman::predict_only(double dt) {
+    if (!initialized_) return {0.0, 0.0, 0.0};
+    predict(dt);
+    return position();
+}
+
+}  // namespace witrack::dsp

@@ -1,0 +1,73 @@
+// Kalman filters. The paper (Section 4.4) smooths each antenna's round-trip
+// distance stream with a Kalman filter, exploiting the continuity of human
+// motion; the tracker additionally smooths the fused 3D positions.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/linalg.hpp"
+
+namespace witrack::dsp {
+
+/// Constant-velocity Kalman filter over a scalar observable (here: the
+/// round-trip distance to one receive antenna). State is [value, rate].
+class ScalarKalman {
+  public:
+    /// process_noise: expected rate change per second (std dev), i.e. how
+    /// hard the target can accelerate. measurement_noise: std dev of a
+    /// single observation.
+    ScalarKalman(double process_noise, double measurement_noise);
+
+    /// Predict forward by dt and fuse one measurement; returns the filtered
+    /// value. The first call initializes the state to the measurement.
+    double update(double measurement, double dt);
+
+    /// Predict forward by dt without a measurement (used while the target is
+    /// static and the pipeline interpolates); returns the predicted value.
+    double predict_only(double dt);
+
+    bool initialized() const { return initialized_; }
+    double value() const { return state_(0, 0); }
+    double rate() const { return state_(1, 0); }
+    double value_variance() const { return covariance_(0, 0); }
+    void reset();
+
+  private:
+    void predict(double dt);
+
+    double q_;  // process noise (acceleration std dev)
+    double r_;  // measurement noise std dev
+    Vector<2> state_;
+    Matrix<2, 2> covariance_;
+    bool initialized_ = false;
+};
+
+/// Constant-velocity Kalman filter over a 3D position. State is
+/// [x y z vx vy vz]; measurements are positions from the ellipsoid solver.
+class PositionKalman {
+  public:
+    PositionKalman(double process_noise, double measurement_noise);
+
+    struct Position {
+        double x, y, z;
+    };
+
+    Position update(const Position& measurement, double dt);
+    Position predict_only(double dt);
+
+    bool initialized() const { return initialized_; }
+    Position position() const { return {state_(0, 0), state_(1, 0), state_(2, 0)}; }
+    Position velocity() const { return {state_(3, 0), state_(4, 0), state_(5, 0)}; }
+    void reset();
+
+  private:
+    void predict(double dt);
+
+    double q_;
+    double r_;
+    Vector<6> state_;
+    Matrix<6, 6> covariance_;
+    bool initialized_ = false;
+};
+
+}  // namespace witrack::dsp

@@ -1,0 +1,123 @@
+// Small fixed-size dense matrices for the Kalman filters and the
+// Gauss-Newton localizer. Header-only; sizes are compile-time so everything
+// lives on the stack.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace witrack::dsp {
+
+template <std::size_t R, std::size_t C>
+class Matrix {
+  public:
+    Matrix() { data_.fill(0.0); }
+
+    static Matrix identity() {
+        static_assert(R == C, "identity requires a square matrix");
+        Matrix m;
+        for (std::size_t i = 0; i < R; ++i) m(i, i) = 1.0;
+        return m;
+    }
+
+    double& operator()(std::size_t r, std::size_t c) { return data_[r * C + c]; }
+    double operator()(std::size_t r, std::size_t c) const { return data_[r * C + c]; }
+
+    Matrix operator+(const Matrix& o) const {
+        Matrix out;
+        for (std::size_t i = 0; i < R * C; ++i) out.data_[i] = data_[i] + o.data_[i];
+        return out;
+    }
+
+    Matrix operator-(const Matrix& o) const {
+        Matrix out;
+        for (std::size_t i = 0; i < R * C; ++i) out.data_[i] = data_[i] - o.data_[i];
+        return out;
+    }
+
+    Matrix operator*(double s) const {
+        Matrix out;
+        for (std::size_t i = 0; i < R * C; ++i) out.data_[i] = data_[i] * s;
+        return out;
+    }
+
+    template <std::size_t K>
+    Matrix<R, K> operator*(const Matrix<C, K>& o) const {
+        Matrix<R, K> out;
+        for (std::size_t r = 0; r < R; ++r)
+            for (std::size_t k = 0; k < K; ++k) {
+                double acc = 0.0;
+                for (std::size_t c = 0; c < C; ++c) acc += (*this)(r, c) * o(c, k);
+                out(r, k) = acc;
+            }
+        return out;
+    }
+
+    Matrix<C, R> transpose() const {
+        Matrix<C, R> out;
+        for (std::size_t r = 0; r < R; ++r)
+            for (std::size_t c = 0; c < C; ++c) out(c, r) = (*this)(r, c);
+        return out;
+    }
+
+    /// Inverse via Gauss-Jordan elimination with partial pivoting.
+    /// Throws std::runtime_error when singular.
+    Matrix inverse() const {
+        static_assert(R == C, "inverse requires a square matrix");
+        Matrix a = *this;
+        Matrix inv = identity();
+        for (std::size_t col = 0; col < C; ++col) {
+            // pivot selection
+            std::size_t pivot = col;
+            for (std::size_t r = col + 1; r < R; ++r)
+                if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+            if (std::abs(a(pivot, col)) < 1e-14)
+                throw std::runtime_error("Matrix::inverse: singular matrix");
+            if (pivot != col) {
+                for (std::size_t c = 0; c < C; ++c) {
+                    std::swap(a(pivot, c), a(col, c));
+                    std::swap(inv(pivot, c), inv(col, c));
+                }
+            }
+            const double d = a(col, col);
+            for (std::size_t c = 0; c < C; ++c) {
+                a(col, c) /= d;
+                inv(col, c) /= d;
+            }
+            for (std::size_t r = 0; r < R; ++r) {
+                if (r == col) continue;
+                const double factor = a(r, col);
+                if (factor == 0.0) continue;
+                for (std::size_t c = 0; c < C; ++c) {
+                    a(r, c) -= factor * a(col, c);
+                    inv(r, c) -= factor * inv(col, c);
+                }
+            }
+        }
+        return inv;
+    }
+
+    /// Frobenius norm.
+    double norm() const {
+        double acc = 0.0;
+        for (double v : data_) acc += v * v;
+        return std::sqrt(acc);
+    }
+
+  private:
+    std::array<double, R * C> data_;
+};
+
+template <std::size_t N>
+using Vector = Matrix<N, 1>;
+
+/// Solve the square system A x = b. Convenience over inverse() for the
+/// Gauss-Newton normal equations.
+template <std::size_t N>
+Vector<N> solve(const Matrix<N, N>& a, const Vector<N>& b) {
+    return a.inverse() * b;
+}
+
+}  // namespace witrack::dsp

@@ -1,0 +1,51 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/stats.hpp"
+
+namespace witrack::dsp {
+
+std::vector<Peak> find_peaks(const std::vector<double>& values, double threshold,
+                             std::size_t min_separation) {
+    std::vector<Peak> peaks;
+    const std::size_t n = values.size();
+    if (n < 3) return peaks;
+    if (min_separation == 0) min_separation = 1;
+
+    std::size_t last_accepted = 0;
+    bool have_accepted = false;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        if (values[i] < threshold) continue;
+        // Peak if strictly above the previous sample and >= the next; a
+        // plateau is attributed to its first index.
+        const bool rising = values[i] > values[i - 1];
+        const bool not_falling_into = values[i] >= values[i + 1];
+        if (!(rising && not_falling_into)) continue;
+        if (have_accepted && i - last_accepted < min_separation) continue;
+        peaks.push_back({i, values[i], parabolic_peak_position(values, i)});
+        last_accepted = i;
+        have_accepted = true;
+    }
+    return peaks;
+}
+
+double parabolic_peak_position(const std::vector<double>& values, std::size_t bin) {
+    if (bin == 0 || bin + 1 >= values.size()) return static_cast<double>(bin);
+    const double left = values[bin - 1];
+    const double center = values[bin];
+    const double right = values[bin + 1];
+    const double denom = left - 2.0 * center + right;
+    if (denom >= 0.0) return static_cast<double>(bin);  // not concave: no refinement
+    double offset = 0.5 * (left - right) / denom;
+    offset = std::clamp(offset, -0.5, 0.5);
+    return static_cast<double>(bin) + offset;
+}
+
+double noise_floor(const std::vector<double>& values, double pct) {
+    if (values.empty()) throw std::invalid_argument("noise_floor: empty profile");
+    return percentile(values, pct);
+}
+
+}  // namespace witrack::dsp

@@ -1,0 +1,33 @@
+// Local-maximum detection over range profiles. The contour tracker (paper
+// Section 4.3) needs "the first local maximum that is substantially above
+// the noise floor"; the multi-person extension needs the k closest maxima.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace witrack::dsp {
+
+struct Peak {
+    std::size_t bin = 0;        ///< index of the local maximum
+    double value = 0.0;         ///< magnitude at the maximum
+    double interpolated = 0.0;  ///< sub-bin position from parabolic fit
+};
+
+/// Find local maxima with value >= threshold, ordered by increasing index.
+/// A plateau reports its first index. min_separation suppresses maxima
+/// closer than that many bins to a previously accepted (larger-index-first
+/// scan keeps the closer one, matching bottom-contour semantics).
+std::vector<Peak> find_peaks(const std::vector<double>& values, double threshold,
+                             std::size_t min_separation = 1);
+
+/// Parabolic (three-point) interpolation of a peak's sub-bin position.
+/// Returns bin +/- 0.5 at most; falls back to the integer bin at the edges.
+double parabolic_peak_position(const std::vector<double>& values, std::size_t bin);
+
+/// Robust noise-floor estimate of a magnitude profile: the given percentile
+/// of all values (median by default). The contour threshold is a multiple
+/// of this floor.
+double noise_floor(const std::vector<double>& values, double pct = 50.0);
+
+}  // namespace witrack::dsp

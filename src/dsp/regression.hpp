@@ -1,0 +1,36 @@
+// Line fitting for the pointing-gesture estimator (paper Section 6.1:
+// "We perform robust regression on the location estimates of the moving
+// hand"). Provides ordinary least squares plus two robust alternatives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace witrack::dsp {
+
+/// Fitted line y = intercept + slope * x.
+struct LineFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+    bool valid = false;
+
+    double at(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least squares.
+LineFit fit_ols(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Theil-Sen estimator: median of pairwise slopes; up to ~29% outlier
+/// breakdown. O(n^2) pairs, fine for gesture-length segments.
+LineFit fit_theil_sen(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Iteratively reweighted least squares with the Huber loss.
+/// delta is in units of residual; iterations bounds the IRLS loop.
+LineFit fit_huber(const std::vector<double>& x, const std::vector<double>& y,
+                  double delta = 1.0, std::size_t iterations = 20);
+
+/// Residual standard deviation of a fit over the data.
+double fit_residual_stddev(const LineFit& fit, const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace witrack::dsp

@@ -1,0 +1,88 @@
+// Order statistics and distribution summaries used by the evaluation
+// harnesses (all of the paper's figures report medians, 90th percentiles,
+// or CDFs of tracking error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace witrack::dsp {
+
+double mean(const std::vector<double>& samples);
+double variance(const std::vector<double>& samples);   // population variance
+double stddev(const std::vector<double>& samples);
+double min_value(const std::vector<double>& samples);
+double max_value(const std::vector<double>& samples);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double percentile(std::vector<double> samples, double p);
+
+/// Median (50th percentile).
+double median(std::vector<double> samples);
+
+/// Empirical CDF over a sample set; supports value->fraction and
+/// fraction->value queries, and emitting evenly spaced curve points for the
+/// CDF figures (Fig. 8, Fig. 11).
+class EmpiricalCdf {
+  public:
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    std::size_t count() const { return sorted_.size(); }
+
+    /// Fraction of samples <= value.
+    double fraction_below(double value) const;
+
+    /// Smallest value v with fraction_below(v) >= fraction (inverse CDF).
+    double value_at(double fraction) const;
+
+    double median() const { return value_at(0.5); }
+    double percentile(double p) const { return value_at(p / 100.0); }
+
+    struct Point {
+        double value;
+        double fraction;
+    };
+
+    /// Evenly spaced curve samples between min and max, for plotting/tables.
+    std::vector<Point> curve(std::size_t n_points) const;
+
+    const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram with explicit range.
+class Histogram {
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+    void add(double value);
+    std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double bin_center(std::size_t bin) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Streaming mean/variance (Welford). Used by the contour tracker's noise
+/// floor estimate and by the gesture-vs-body variance classifier (Fig. 5).
+class RunningStats {
+  public:
+    void add(double value);
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    double variance() const;  // population variance
+    double stddev() const;
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+}  // namespace witrack::dsp

@@ -1,0 +1,33 @@
+// Window functions applied before the range FFT to control spectral leakage
+// from the strong static reflectors ("flash effect", paper Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace witrack::dsp {
+
+enum class WindowType {
+    kRectangular,
+    kHann,
+    kHamming,
+    kBlackman,
+    kBlackmanHarris,
+};
+
+/// Generate window coefficients of the given length.
+std::vector<double> make_window(WindowType type, std::size_t length);
+
+/// Sum of coefficients; used to normalize FFT magnitudes so windowed and
+/// rectangular spectra have comparable peak levels.
+double window_gain(const std::vector<double>& window);
+
+/// Multiply a signal by a window in place. The window must be the same
+/// length as the signal.
+void apply_window(std::vector<double>& signal, const std::vector<double>& window);
+
+/// Name for logs and bench tables.
+std::string window_name(WindowType type);
+
+}  // namespace witrack::dsp

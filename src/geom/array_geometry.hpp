@@ -1,0 +1,54 @@
+// Antenna array geometry. The paper's default deployment is a "T": the
+// transmit antenna at the crossing point, two receive antennas on the
+// horizontal bar (along x) and one below the transmitter (along -z), all in
+// one plane facing the tracked space (+y).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace witrack::geom {
+
+struct ArrayGeometry {
+    Vec3 tx;                    ///< transmit antenna position (world frame)
+    std::vector<Vec3> rx;       ///< receive antenna positions (world frame)
+    Vec3 boresight{0, 1, 0};    ///< unit vector the directional antennas face
+
+    std::size_t num_rx() const { return rx.size(); }
+
+    void validate() const {
+        if (rx.size() < 3)
+            throw std::invalid_argument("ArrayGeometry: 3D localization needs >= 3 Rx");
+    }
+};
+
+/// Build the default "T" array centred at `center` facing +y:
+///   Rx1 = center - (sep, 0, 0), Rx2 = center + (sep, 0, 0),
+///   Rx3 = center - (0, 0, sep), Tx = center.
+/// `separation_m` is the Tx-to-Rx distance (1 m in the paper's default).
+inline ArrayGeometry make_t_array(const Vec3& center, double separation_m) {
+    if (separation_m <= 0.0)
+        throw std::invalid_argument("make_t_array: separation must be positive");
+    ArrayGeometry g;
+    g.tx = center;
+    g.rx = {
+        center + Vec3{-separation_m, 0.0, 0.0},
+        center + Vec3{+separation_m, 0.0, 0.0},
+        center + Vec3{0.0, 0.0, -separation_m},
+    };
+    g.boresight = {0.0, 1.0, 0.0};
+    return g;
+}
+
+/// Build a T array with a fourth (redundant) receive antenna above the
+/// transmitter, for the over-constrained localization extension.
+inline ArrayGeometry make_cross_array(const Vec3& center, double separation_m) {
+    ArrayGeometry g = make_t_array(center, separation_m);
+    g.rx.push_back(center + Vec3{0.0, 0.0, separation_m});
+    return g;
+}
+
+}  // namespace witrack::geom

@@ -1,0 +1,42 @@
+// Directional-antenna beam feasibility. The paper resolves the ellipse
+// intersection ambiguity by noting that only solutions inside the antennas'
+// beam are physical (Section 5, Fig. 4a).
+#pragma once
+
+#include "geom/vec3.hpp"
+
+namespace witrack::geom {
+
+/// A cone of half-angle `half_angle_rad` around `axis`, rooted at `apex`.
+class BeamCone {
+  public:
+    BeamCone(const Vec3& apex, const Vec3& axis, double half_angle_rad)
+        : apex_(apex), axis_(axis.normalized()), half_angle_(half_angle_rad) {}
+
+    /// True if the point lies inside the cone (in front of the apex and
+    /// within the half-angle).
+    bool contains(const Vec3& point) const {
+        const Vec3 d = point - apex_;
+        const double along = d.dot(axis_);
+        if (along <= 0.0) return false;
+        return angle_between(d, axis_) <= half_angle_;
+    }
+
+    /// Off-axis angle of a point in radians (pi for points behind the apex).
+    double off_axis_angle(const Vec3& point) const {
+        const Vec3 d = point - apex_;
+        if (d.dot(axis_) <= 0.0) return M_PI;
+        return angle_between(d, axis_);
+    }
+
+    const Vec3& apex() const { return apex_; }
+    const Vec3& axis() const { return axis_; }
+    double half_angle() const { return half_angle_; }
+
+  private:
+    Vec3 apex_;
+    Vec3 axis_;
+    double half_angle_;
+};
+
+}  // namespace witrack::geom

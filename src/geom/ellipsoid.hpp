@@ -1,0 +1,68 @@
+// Prolate ellipsoid defined by two foci and a major-axis length: the locus
+// of points whose summed distance to the foci is constant. A round-trip
+// distance measurement for one receive antenna constrains the person to such
+// an ellipsoid with foci at Tx and that Rx (paper Section 5).
+#pragma once
+
+#include <stdexcept>
+
+#include "geom/vec3.hpp"
+
+namespace witrack::geom {
+
+class Ellipsoid {
+  public:
+    /// `major_axis_length` is the constant distance sum |p-f1| + |p-f2|,
+    /// i.e. the measured round-trip distance (2a in conic terms).
+    Ellipsoid(const Vec3& focus1, const Vec3& focus2, double major_axis_length)
+        : f1_(focus1), f2_(focus2), length_(major_axis_length) {
+        const double focal = f1_.distance_to(f2_);
+        if (length_ <= focal)
+            throw std::invalid_argument(
+                "Ellipsoid: major axis must exceed the focal distance");
+    }
+
+    const Vec3& focus1() const { return f1_; }
+    const Vec3& focus2() const { return f2_; }
+    double major_axis_length() const { return length_; }
+
+    /// Signed residual of the defining equation at p: zero on the surface,
+    /// negative inside, positive outside.
+    double residual(const Vec3& p) const {
+        return p.distance_to(f1_) + p.distance_to(f2_) - length_;
+    }
+
+    /// Gradient of residual() with respect to p: the sum of unit vectors
+    /// away from each focus. Used by the Gauss-Newton localizer.
+    Vec3 gradient(const Vec3& p) const {
+        Vec3 g{};
+        const Vec3 d1 = p - f1_;
+        const Vec3 d2 = p - f2_;
+        const double n1 = d1.norm();
+        const double n2 = d2.norm();
+        if (n1 > 1e-12) g += d1 / n1;
+        if (n2 > 1e-12) g += d2 / n2;
+        return g;
+    }
+
+    bool contains(const Vec3& p, double tolerance = 1e-9) const {
+        return residual(p) <= tolerance;
+    }
+
+    /// Semi-minor axis b = sqrt(a^2 - c^2): how "fat" the ellipsoid is.
+    /// Shrinks as the foci separate at fixed major axis, which is the
+    /// geometric reason larger antenna separation improves accuracy
+    /// (paper Section 9.3).
+    double semi_minor_axis() const {
+        const double a = length_ / 2.0;
+        const double c = f1_.distance_to(f2_) / 2.0;
+        return std::sqrt(a * a - c * c);
+    }
+
+  private:
+    Vec3 f1_;
+    Vec3 f2_;
+    double length_;
+};
+
+}  // namespace witrack::geom

@@ -1,0 +1,220 @@
+#include "geom/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/linalg.hpp"
+
+namespace witrack::geom {
+
+namespace {
+constexpr double kPlaneTolerance = 1e-9;
+}
+
+EllipsoidSolver::EllipsoidSolver(ArrayGeometry geometry)
+    : geometry_(std::move(geometry)) {
+    geometry_.validate();
+    offsets_.reserve(geometry_.rx.size());
+    for (const auto& rx : geometry_.rx) offsets_.push_back(rx - geometry_.tx);
+
+    // Build an orthonormal basis (u, w) of the span of the offsets and check
+    // that every offset lies in it.
+    u_ = {};
+    for (const auto& a : offsets_) {
+        if (a.norm() > 1e-9) {
+            u_ = a.normalized();
+            break;
+        }
+    }
+    if (u_.norm() == 0.0)
+        throw std::invalid_argument("EllipsoidSolver: all Rx collocated with Tx");
+
+    w_ = {};
+    for (const auto& a : offsets_) {
+        const Vec3 perp = a - u_ * a.dot(u_);
+        if (perp.norm() > 1e-9) {
+            w_ = perp.normalized();
+            break;
+        }
+    }
+    if (w_.norm() == 0.0)
+        throw std::invalid_argument("EllipsoidSolver: antennas are collinear");
+
+    n_ = u_.cross(w_).normalized();
+    if (n_.dot(geometry_.boresight) < 0.0) n_ = -n_;
+
+    planar_ = true;
+    for (const auto& a : offsets_) {
+        if (std::abs(a.dot(n_)) > kPlaneTolerance * std::max(1.0, a.norm())) {
+            planar_ = false;
+            break;
+        }
+    }
+}
+
+double EllipsoidSolver::residual_rms_at(const Vec3& p,
+                                        const std::vector<double>& round_trips) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < geometry_.rx.size(); ++i) {
+        const double predicted =
+            p.distance_to(geometry_.tx) + p.distance_to(geometry_.rx[i]);
+        const double r = predicted - round_trips[i];
+        acc += r * r;
+    }
+    return std::sqrt(acc / static_cast<double>(geometry_.rx.size()));
+}
+
+LocalizationResult EllipsoidSolver::finalize(Vec3 device_frame_position, bool clamped,
+                                             const std::vector<double>& round_trips) const {
+    LocalizationResult result;
+    result.position = geometry_.tx + device_frame_position;
+    result.clamped = clamped;
+    result.valid = true;
+    result.residual_rms = residual_rms_at(result.position, round_trips);
+    return result;
+}
+
+LocalizationResult EllipsoidSolver::solve_closed_form(
+    const std::vector<double>& round_trips) const {
+    if (round_trips.size() != geometry_.rx.size())
+        throw std::invalid_argument("solve_closed_form: measurement count mismatch");
+    if (!planar_) return {};  // closed form only defined for planar arrays
+
+    // Reject physically impossible measurements (path shorter than the
+    // direct Tx->Rx separation).
+    for (std::size_t i = 0; i < round_trips.size(); ++i)
+        if (round_trips[i] <= offsets_[i].norm() || !std::isfinite(round_trips[i]))
+            return {};
+
+    // Least-squares solve of  [a_i.u  a_i.w  -D_i] [alpha beta r]^T = c_i
+    // via the 3x3 normal equations (exact solve when there are 3 antennas).
+    dsp::Matrix<3, 3> ata;
+    dsp::Vector<3> atc;
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+        const double row[3] = {offsets_[i].dot(u_), offsets_[i].dot(w_), -round_trips[i]};
+        const double c =
+            (offsets_[i].norm_squared() - round_trips[i] * round_trips[i]) / 2.0;
+        for (std::size_t r = 0; r < 3; ++r) {
+            atc(r, 0) += row[r] * c;
+            for (std::size_t cidx = 0; cidx < 3; ++cidx) ata(r, cidx) += row[r] * row[cidx];
+        }
+    }
+
+    dsp::Vector<3> sol;
+    try {
+        sol = dsp::solve(ata, atc);
+    } catch (const std::runtime_error&) {
+        return {};  // degenerate geometry for these measurements
+    }
+
+    const double alpha = sol(0, 0);
+    const double beta = sol(1, 0);
+    const double r = sol(2, 0);
+    if (!(r > 0.0) || !std::isfinite(r)) return {};
+
+    const double y_sq = r * r - alpha * alpha - beta * beta;
+    bool clamped = false;
+    double y = 0.0;
+    if (y_sq > 0.0) {
+        y = std::sqrt(y_sq);
+    } else {
+        // Noise pushed the solution marginally off the sphere; clamp onto
+        // the antenna plane but keep the in-plane estimate.
+        clamped = true;
+    }
+    const Vec3 p = u_ * alpha + w_ * beta + n_ * y;
+    return finalize(p, clamped, round_trips);
+}
+
+LocalizationResult EllipsoidSolver::solve_gauss_newton(
+    const std::vector<double>& round_trips, const Vec3& seed,
+    std::size_t max_iterations) const {
+    if (round_trips.size() != geometry_.rx.size())
+        throw std::invalid_argument("solve_gauss_newton: measurement count mismatch");
+
+    Vec3 p = seed;
+    double lambda = 1e-6;  // Levenberg damping
+    double prev_cost = std::numeric_limits<double>::infinity();
+
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        dsp::Matrix<3, 3> jtj;
+        dsp::Vector<3> jtr;
+        double cost = 0.0;
+        for (std::size_t i = 0; i < geometry_.rx.size(); ++i) {
+            const Vec3 d_tx = p - geometry_.tx;
+            const Vec3 d_rx = p - geometry_.rx[i];
+            const double n_tx = std::max(d_tx.norm(), 1e-9);
+            const double n_rx = std::max(d_rx.norm(), 1e-9);
+            const double residual = n_tx + n_rx - round_trips[i];
+            const Vec3 grad = d_tx / n_tx + d_rx / n_rx;
+            const double g[3] = {grad.x, grad.y, grad.z};
+            for (std::size_t r = 0; r < 3; ++r) {
+                jtr(r, 0) += g[r] * residual;
+                for (std::size_t c = 0; c < 3; ++c) jtj(r, c) += g[r] * g[c];
+            }
+            cost += residual * residual;
+        }
+
+        if (cost < 1e-18) break;
+        // Levenberg: inflate the diagonal when the previous step regressed.
+        lambda = cost < prev_cost ? std::max(lambda * 0.5, 1e-9)
+                                  : std::min(lambda * 10.0, 1e3);
+        prev_cost = cost;
+
+        dsp::Matrix<3, 3> damped = jtj;
+        for (std::size_t i = 0; i < 3; ++i) damped(i, i) += lambda * (1.0 + jtj(i, i));
+
+        dsp::Vector<3> step;
+        try {
+            step = dsp::solve(damped, jtr);
+        } catch (const std::runtime_error&) {
+            break;
+        }
+        const Vec3 delta{step(0, 0), step(1, 0), step(2, 0)};
+        p -= delta;
+        if (delta.norm() < 1e-10) break;
+    }
+
+    LocalizationResult result;
+    result.position = p;
+    result.valid = std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z);
+    result.residual_rms = result.valid ? residual_rms_at(p, round_trips) : 0.0;
+    // Keep the solution on the boresight side: directional antennas cannot
+    // see targets behind the array (paper Fig. 4a).
+    if (result.valid &&
+        (p - geometry_.tx).dot(geometry_.boresight) < 0.0) {
+        const Vec3 mirrored =
+            p - geometry_.boresight * (2.0 * (p - geometry_.tx).dot(geometry_.boresight));
+        if (residual_rms_at(mirrored, round_trips) <= result.residual_rms + 1e-9) {
+            result.position = mirrored;
+            result.residual_rms = residual_rms_at(mirrored, round_trips);
+        }
+    }
+    return result;
+}
+
+LocalizationResult EllipsoidSolver::solve(const std::vector<double>& round_trips) const {
+    const LocalizationResult closed = solve_closed_form(round_trips);
+    Vec3 seed;
+    if (closed.valid) {
+        // An exact (non-clamped) 3-antenna closed-form solution needs no
+        // refinement.
+        if (!closed.clamped && geometry_.rx.size() == 3 &&
+            closed.residual_rms < 1e-9)
+            return closed;
+        seed = closed.position;
+    } else {
+        // Seed on the boresight at the mean one-way range.
+        double mean_rt = 0.0;
+        for (double d : round_trips) mean_rt += d;
+        mean_rt /= static_cast<double>(round_trips.size());
+        seed = geometry_.tx + geometry_.boresight * (mean_rt / 2.0);
+    }
+    LocalizationResult refined = solve_gauss_newton(round_trips, seed);
+    if (!refined.valid) return closed;
+    refined.clamped = closed.valid ? closed.clamped : refined.clamped;
+    return refined;
+}
+
+}  // namespace witrack::geom

@@ -1,0 +1,68 @@
+// 3D localization from per-antenna round-trip distances (paper Section 5).
+//
+// Each receive antenna's measurement places the person on an ellipsoid with
+// foci (Tx, Rx_i). The paper avoids solving the ellipsoid system online by
+// precomputing a symbolic solution for the fixed antenna placement; we do the
+// equivalent in closed form. For a planar array (antennas mounted in one
+// plane facing the room — always the case for a through-wall deployment) the
+// system reduces to a single 3x3 linear solve:
+//
+//   With the Tx at the origin and a_i = Rx_i - Tx, squaring
+//   |p - a_i| = D_i - |p| gives the linear relation
+//       a_i . p = (|a_i|^2 - D_i^2)/2 + D_i * r,     r = |p|.
+//   Writing p = alpha*u + beta*w + y*n in a plane basis (u, w, normal n),
+//   a_i . n = 0 turns the three relations into a linear system in
+//   (alpha, beta, r); y then follows from y^2 = r^2 - alpha^2 - beta^2 and
+//   the directional antennas select the + root along the boresight.
+//
+// A Levenberg-damped Gauss-Newton refiner handles noisy measurements,
+// non-planar arrays and over-constrained (>3 Rx) setups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/array_geometry.hpp"
+#include "geom/vec3.hpp"
+
+namespace witrack::geom {
+
+struct LocalizationResult {
+    Vec3 position{};            ///< solved position (world frame)
+    bool valid = false;         ///< a geometrically consistent solution exists
+    double residual_rms = 0.0;  ///< RMS of |p-tx|+|p-rx_i|-D_i over antennas [m]
+    bool clamped = false;       ///< y^2 went negative and was clamped to the plane
+};
+
+class EllipsoidSolver {
+  public:
+    explicit EllipsoidSolver(ArrayGeometry geometry);
+
+    /// Closed-form planar solve (least squares when more than 3 antennas).
+    /// round_trips[i] is the full Tx->person->Rx_i path length in meters.
+    LocalizationResult solve_closed_form(const std::vector<double>& round_trips) const;
+
+    /// Iterative refinement starting from `seed`.
+    LocalizationResult solve_gauss_newton(const std::vector<double>& round_trips,
+                                          const Vec3& seed,
+                                          std::size_t max_iterations = 25) const;
+
+    /// Production entry point: closed form, then Gauss-Newton polish.
+    LocalizationResult solve(const std::vector<double>& round_trips) const;
+
+    const ArrayGeometry& geometry() const { return geometry_; }
+    bool planar() const { return planar_; }
+
+  private:
+    LocalizationResult finalize(Vec3 device_frame_position, bool clamped,
+                                const std::vector<double>& round_trips) const;
+    double residual_rms_at(const Vec3& world_position,
+                           const std::vector<double>& round_trips) const;
+
+    ArrayGeometry geometry_;
+    std::vector<Vec3> offsets_;  // a_i = rx_i - tx
+    Vec3 u_{}, w_{}, n_{};       // plane basis (valid when planar_)
+    bool planar_ = false;
+};
+
+}  // namespace witrack::geom

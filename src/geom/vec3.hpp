@@ -1,0 +1,83 @@
+// 3D vector type used across the geometry, RF and simulation layers.
+// Coordinate convention (paper Section 5): the antenna "T" lies in the xz
+// plane; x is horizontal along the antenna bar, z is vertical, and y points
+// away from the device into the tracked room.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace witrack::geom {
+
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    Vec3& operator-=(const Vec3& o) {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    Vec3& operator*=(double s) {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3 cross(const Vec3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double norm_squared() const { return dot(*this); }
+
+    Vec3 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? *this / n : Vec3{};
+    }
+
+    double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Angle between two vectors in radians, in [0, pi].
+inline double angle_between(const Vec3& a, const Vec3& b) {
+    const double na = a.norm();
+    const double nb = b.norm();
+    if (na == 0.0 || nb == 0.0) return 0.0;
+    double c = a.dot(b) / (na * nb);
+    c = std::fmax(-1.0, std::fmin(1.0, c));
+    return std::acos(c);
+}
+
+/// Linear interpolation between points.
+inline constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+    return a + (b - a) * t;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace witrack::geom

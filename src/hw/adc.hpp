@@ -1,0 +1,56 @@
+// Analog-to-digital converter model for the USRP LFRX-LF capture path
+// (paper Section 7: baseband sampled at 1 MHz). Models finite resolution
+// and full-scale clipping; the full scale is set once from the first
+// captured sweep, mimicking a one-time gain calibration.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace witrack::hw {
+
+class Adc {
+  public:
+    /// bits == 0 disables quantization (ideal capture).
+    explicit Adc(int bits = 12) : bits_(bits) {
+        if (bits < 0 || bits > 24) throw std::invalid_argument("Adc: bad bit depth");
+    }
+
+    bool calibrated() const { return full_scale_ > 0.0; }
+    double full_scale() const { return full_scale_; }
+    int bits() const { return bits_; }
+
+    /// One-time gain calibration: set full scale to `headroom` times the
+    /// observed peak.
+    void calibrate(const std::vector<double>& first_sweep, double headroom = 4.0) {
+        double peak = 0.0;
+        for (double v : first_sweep) peak = std::max(peak, std::abs(v));
+        full_scale_ = peak > 0.0 ? peak * headroom : 1.0;
+    }
+
+    /// Quantize a sweep in place (no-op when bits == 0 or uncalibrated).
+    void process(std::vector<double>& sweep) const {
+        if (bits_ == 0 || full_scale_ <= 0.0) return;
+        const double levels = static_cast<double>(1 << (bits_ - 1));
+        const double lsb = full_scale_ / levels;
+        for (auto& v : sweep) {
+            double clipped = std::clamp(v, -full_scale_, full_scale_);
+            v = std::round(clipped / lsb) * lsb;
+        }
+    }
+
+    /// Quantization step (0 when disabled/uncalibrated).
+    double lsb() const {
+        if (bits_ == 0 || full_scale_ <= 0.0) return 0.0;
+        return full_scale_ / static_cast<double>(1 << (bits_ - 1));
+    }
+
+  private:
+    int bits_;
+    double full_scale_ = 0.0;
+};
+
+}  // namespace witrack::hw

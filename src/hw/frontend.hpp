@@ -1,0 +1,67 @@
+// Full FMCW front end (paper Fig. 7): sweep generation (VCO + PLL residual
+// nonlinearity), the dechirping mixer, per-receiver high-pass filtering (to
+// knock down the Tx-leakage and close-in flash beats), additive receiver
+// noise, and ADC capture.
+//
+// Performance note: static paths (walls, furniture, leakage) do not change
+// between sweeps, so their summed baseband waveform is synthesized once and
+// cached; each sweep then only synthesizes the handful of body paths. A
+// small per-sweep gain jitter on the cached static waveform models the
+// imperfect sweep-to-sweep repeatability of real hardware, which is what
+// limits background-subtraction depth in practice.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "dsp/filter.hpp"
+#include "hw/adc.hpp"
+#include "hw/mixer.hpp"
+#include "hw/pll.hpp"
+#include "rf/channel.hpp"
+#include "rf/noise.hpp"
+
+namespace witrack::hw {
+
+struct FrontendConfig {
+    witrack::FmcwParams fmcw;
+    witrack::rf::NoiseModel noise;
+    SweepNonlinearity nonlinearity;      ///< residual after PLL linearization
+    double highpass_cutoff_hz = 2000.0;  ///< analog high-pass in the Rx chain
+    int adc_bits = 12;                   ///< 0 disables quantization
+    double static_gain_jitter = 2e-3;    ///< sweep-to-sweep repeatability
+};
+
+class FmcwFrontend {
+  public:
+    /// The front end owns a copy of the channel (scene + antennas).
+    FmcwFrontend(FrontendConfig config, witrack::rf::Channel channel, Rng rng);
+
+    /// Capture one sweep: returns one baseband sample vector per receive
+    /// antenna. `body` is the person's scatterer constellation at the time
+    /// of this sweep (empty when nobody is present).
+    std::vector<std::vector<double>> capture_sweep(
+        std::span<const witrack::rf::BodyScatterer> body);
+
+    const witrack::FmcwParams& params() const { return config_.fmcw; }
+    const witrack::rf::Channel& channel() const { return channel_; }
+    std::size_t num_rx() const { return channel_.num_rx(); }
+
+    /// Rebuild the cached static waveforms (call after mutating the scene).
+    void rebuild_static_cache();
+
+  private:
+    FrontendConfig config_;
+    witrack::rf::Channel channel_;
+    Rng rng_;
+    DechirpMixer mixer_;
+    std::vector<std::vector<double>> static_cache_;  // per rx
+    std::vector<witrack::dsp::OnePoleHighPass> highpass_;
+    std::vector<Adc> adc_;
+    double noise_stddev_ = 0.0;
+};
+
+}  // namespace witrack::hw

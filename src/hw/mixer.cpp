@@ -1,0 +1,76 @@
+#include "hw/mixer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace witrack::hw {
+
+using witrack::rf::PropagationPath;
+
+DechirpMixer::DechirpMixer(const witrack::FmcwParams& fmcw, SweepNonlinearity nonlinearity)
+    : fmcw_(fmcw), nonlinearity_(nonlinearity) {
+    fmcw_.validate();
+    if (!nonlinearity_.negligible()) {
+        const std::size_t n = fmcw_.samples_per_sweep();
+        ripple_table_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double t = static_cast<double>(i) / fmcw_.sample_rate_hz;
+            ripple_table_[i] =
+                std::sin(2.0 * M_PI * nonlinearity_.ripple_frequency_hz * t +
+                         nonlinearity_.phase_rad);
+        }
+    }
+}
+
+void DechirpMixer::synthesize(std::span<const PropagationPath> paths,
+                              std::vector<double>& out) const {
+    const std::size_t n = fmcw_.samples_per_sweep();
+    if (out.size() != n) throw std::invalid_argument("DechirpMixer: bad buffer size");
+
+    const double slope = fmcw_.slope();
+    const double fs = fmcw_.sample_rate_hz;
+
+    for (const auto& path : paths) {
+        if (path.amplitude <= 0.0) continue;
+        const double tau = path.round_trip_m / kSpeedOfLight;
+        const double beat_hz = slope * tau;
+        // Phase at t = 0: carrier-delay term minus the residual video phase.
+        const double phi0 = 2.0 * M_PI * (fmcw_.start_frequency_hz * tau -
+                                          0.5 * slope * tau * tau) +
+                            path.phase_rad;
+        const double dphi = 2.0 * M_PI * beat_hz / fs;
+
+        std::complex<double> phasor(std::cos(phi0), std::sin(phi0));
+        const std::complex<double> rotation(std::cos(dphi), std::sin(dphi));
+        const double amp = path.amplitude;
+
+        if (ripple_table_.empty()) {
+            for (std::size_t i = 0; i < n; ++i) {
+                out[i] += amp * phasor.real();
+                phasor *= rotation;
+                if ((i & 0x1FF) == 0x1FF) phasor /= std::abs(phasor);  // drift control
+            }
+        } else {
+            // cos(theta + delta) ~ cos(theta) - delta*sin(theta) with
+            // delta(t) = 2*pi*A_r*tau*ripple(t); |delta| << 1 for realistic
+            // PLL residuals.
+            const double delta_scale =
+                2.0 * M_PI * nonlinearity_.ripple_amplitude_hz * tau;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double delta = delta_scale * ripple_table_[i];
+                out[i] += amp * (phasor.real() - delta * phasor.imag());
+                phasor *= rotation;
+                if ((i & 0x1FF) == 0x1FF) phasor /= std::abs(phasor);
+            }
+        }
+    }
+}
+
+std::vector<double> DechirpMixer::synthesize(
+    std::span<const PropagationPath> paths) const {
+    std::vector<double> out(fmcw_.samples_per_sweep(), 0.0);
+    synthesize(paths, out);
+    return out;
+}
+
+}  // namespace witrack::hw

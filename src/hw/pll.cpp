@@ -1,0 +1,76 @@
+#include "hw/pll.hpp"
+
+#include <cmath>
+
+namespace witrack::hw {
+
+SweepLinearizer::Result SweepLinearizer::simulate_sweep(
+    const Vco& vco, const witrack::FmcwParams& fmcw) const {
+    Result result;
+    const std::size_t steps = config_.control_steps;
+    result.frequency_error_hz.reserve(steps);
+
+    // The FMCW sweep can start below the usable band (the hardware sweeps
+    // from 5.46 GHz but only 5.56-7.25 GHz is kept); the loop simply tracks
+    // the commanded ramp.
+    const double f_start = fmcw.start_frequency_hz;
+    const double f_stop = fmcw.start_frequency_hz + fmcw.bandwidth_hz;
+
+    double integrator = 0.0;
+    double acc_sq = 0.0;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(steps);
+        const double f_ideal = f_start + (f_stop - f_start) * t;
+
+        // Feedforward: the naive linear voltage ramp. Feedback: integrator
+        // driven by the phase-frequency detector's divided-frequency error.
+        double v = vco.open_loop_voltage(f_ideal);
+        if (config_.closed_loop) v += integrator;
+
+        const double f_actual = vco.frequency(v);
+        const double error = f_actual - f_ideal;
+        result.frequency_error_hz.push_back(error);
+        acc_sq += error * error;
+
+        if (config_.closed_loop) {
+            // PFD output is proportional to the divided frequency offset;
+            // the loop filter integrates it into a voltage correction.
+            const double divided_error = error / config_.divider;
+            integrator -= config_.loop_gain * divided_error /
+                          (vco.tuning().gain_hz_per_v / config_.divider);
+        }
+        result.max_abs_error_hz = std::max(result.max_abs_error_hz, std::abs(error));
+    }
+    result.rms_error_hz = std::sqrt(acc_sq / static_cast<double>(steps));
+    return result;
+}
+
+SweepNonlinearity SweepLinearizer::Result::fit_ripple(double sweep_duration_s) const {
+    SweepNonlinearity nl;
+    const std::size_t n = frequency_error_hz.size();
+    if (n < 4) return nl;
+
+    // Remove the mean (a constant frequency offset only shifts all beat
+    // tones identically and is calibrated out), then take the first Fourier
+    // coefficient as the dominant ripple across the sweep.
+    double mean = 0.0;
+    for (double e : frequency_error_hz) mean += e;
+    mean /= static_cast<double>(n);
+
+    double re = 0.0, im = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double angle = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n);
+        const double e = frequency_error_hz[i] - mean;
+        re += e * std::cos(angle);
+        im -= e * std::sin(angle);
+    }
+    re *= 2.0 / static_cast<double>(n);
+    im *= 2.0 / static_cast<double>(n);
+
+    nl.ripple_amplitude_hz = std::sqrt(re * re + im * im);
+    nl.ripple_frequency_hz = 1.0 / sweep_duration_s;  // one cycle per sweep
+    nl.phase_rad = std::atan2(im, re);
+    return nl;
+}
+
+}  // namespace witrack::hw

@@ -1,0 +1,60 @@
+// Sweep linearizer: the feedback loop of paper Fig. 7. A phase-frequency
+// detector compares the divided VCO output against a low-frequency reference
+// ramp (136.5 -> 181.25 MHz divided from 5.46 -> 7.25 GHz is a /40), and an
+// integrating loop filter steers the VCO so its sweep tracks the reference
+// linearly.
+//
+// The simulation runs the loop at a fixed control rate across one sweep and
+// reports the residual frequency error, from which the front end derives a
+// small sinusoidal nonlinearity ripple for the mixer model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "hw/vco.hpp"
+
+namespace witrack::hw {
+
+struct SweepNonlinearity {
+    double ripple_amplitude_hz = 0.0;  ///< residual frequency ripple amplitude
+    double ripple_frequency_hz = 0.0;  ///< dominant ripple rate across a sweep
+    double phase_rad = 0.0;
+
+    bool negligible() const { return ripple_amplitude_hz <= 0.0; }
+};
+
+class SweepLinearizer {
+  public:
+    struct Config {
+        double divider = 40.0;             ///< VCO-to-reference frequency divider
+        double loop_gain = 0.6;            ///< integrator gain (per control step)
+        std::size_t control_steps = 2500;  ///< loop updates per sweep (1 us at 2.5 ms)
+        bool closed_loop = true;           ///< false = open-loop voltage ramp
+    };
+
+    struct Result {
+        std::vector<double> frequency_error_hz;  ///< f_actual - f_ideal per step
+        double rms_error_hz = 0.0;
+        double max_abs_error_hz = 0.0;
+
+        /// Fit the residual as a single sinusoidal ripple across the sweep
+        /// (first non-DC Fourier coefficient of the error sequence).
+        SweepNonlinearity fit_ripple(double sweep_duration_s) const;
+    };
+
+    SweepLinearizer() : SweepLinearizer(Config{}) {}
+
+    explicit SweepLinearizer(Config config) : config_(config) {}
+
+    /// Run one sweep of the control loop against the given VCO.
+    Result simulate_sweep(const Vco& vco, const witrack::FmcwParams& fmcw) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace witrack::hw

@@ -1,0 +1,65 @@
+// Voltage-controlled oscillator model. The paper's front end (Section 7)
+// sweeps a VCO from 5.46 GHz to 7.25 GHz; because "small errors in the
+// input voltage can create large non-linearities in the output sweep", the
+// hardware closes a PLL around it. We model the tuning curve with a
+// quadratic term so the linearizer has something real to correct.
+#pragma once
+
+#include <stdexcept>
+
+namespace witrack::hw {
+
+class Vco {
+  public:
+    struct Tuning {
+        double f_min_hz = 5.0e9;        ///< output at 0 V
+        double gain_hz_per_v = 250e6;   ///< linear tuning gain K_vco
+        double quad_hz_per_v2 = 4e6;    ///< tuning-curve curvature
+        double max_voltage = 12.0;
+    };
+
+    Vco() : Vco(Tuning{}) {}
+
+    explicit Vco(Tuning tuning) : tuning_(tuning) {
+        if (tuning_.gain_hz_per_v <= 0.0)
+            throw std::invalid_argument("Vco: tuning gain must be positive");
+    }
+
+    /// Instantaneous output frequency for a control voltage.
+    double frequency(double volts) const {
+        volts = clamp_voltage(volts);
+        return tuning_.f_min_hz + tuning_.gain_hz_per_v * volts +
+               tuning_.quad_hz_per_v2 * volts * volts;
+    }
+
+    /// Voltage that would produce `f` if the tuning curve were perfectly
+    /// linear -- what a naive open-loop sweep generator applies.
+    double open_loop_voltage(double f_hz) const {
+        return clamp_voltage((f_hz - tuning_.f_min_hz) / tuning_.gain_hz_per_v);
+    }
+
+    /// Exact voltage for `f` from the quadratic tuning curve (what an ideal
+    /// calibrated driver would need).
+    double exact_voltage(double f_hz) const {
+        const double a = tuning_.quad_hz_per_v2;
+        const double b = tuning_.gain_hz_per_v;
+        const double c = tuning_.f_min_hz - f_hz;
+        if (a == 0.0) return clamp_voltage(-c / b);
+        const double disc = b * b - 4.0 * a * c;
+        if (disc < 0.0) throw std::invalid_argument("Vco: frequency unreachable");
+        return clamp_voltage((-b + std::sqrt(disc)) / (2.0 * a));
+    }
+
+    const Tuning& tuning() const { return tuning_; }
+
+  private:
+    double clamp_voltage(double v) const {
+        if (v < 0.0) return 0.0;
+        if (v > tuning_.max_voltage) return tuning_.max_voltage;
+        return v;
+    }
+
+    Tuning tuning_;
+};
+
+}  // namespace witrack::hw

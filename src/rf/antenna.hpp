@@ -1,0 +1,47 @@
+// Directional antenna model. The prototype uses WA5VJB log-periodic
+// directional antennas (paper Section 7); we model the pattern as a Gaussian
+// main lobe with a finite front-to-back ratio, which captures what matters
+// for WiTrack: reflectors outside the beam contribute little energy, and
+// intersection ambiguities behind the array are infeasible (Section 5).
+#pragma once
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "geom/vec3.hpp"
+
+namespace witrack::rf {
+
+struct AntennaPattern {
+    double peak_gain_dbi = 10.0;
+    double half_power_beamwidth_deg = 60.0;
+    double front_back_ratio_db = 25.0;
+
+    /// Linear power gain at `off_axis_rad` from boresight. Gaussian main
+    /// lobe normalized so gain(HPBW/2) = peak/2, floored at the back-lobe
+    /// level.
+    double gain(double off_axis_rad) const {
+        const double peak = from_db(peak_gain_dbi);
+        const double half = deg_to_rad(half_power_beamwidth_deg) / 2.0;
+        const double alpha = std::log(2.0) / (half * half);
+        const double main_lobe = peak * std::exp(-alpha * off_axis_rad * off_axis_rad);
+        const double back_lobe = peak * from_db(-front_back_ratio_db);
+        return std::max(main_lobe, back_lobe);
+    }
+};
+
+/// An antenna: a position, a facing direction, and a pattern.
+struct Antenna {
+    geom::Vec3 position;
+    geom::Vec3 boresight{0.0, 1.0, 0.0};
+    AntennaPattern pattern;
+
+    /// Linear power gain toward a point in space.
+    double gain_toward(const geom::Vec3& point) const {
+        const geom::Vec3 d = point - position;
+        if (d.norm() < 1e-9) return from_db(pattern.peak_gain_dbi);
+        return pattern.gain(geom::angle_between(d, boresight));
+    }
+};
+
+}  // namespace witrack::rf

@@ -1,0 +1,35 @@
+// Building materials for walls and their RF behaviour around 6 GHz:
+// one-way traversal attenuation (for through-wall operation, paper
+// Section 9.1: "6-inch hollow walls supported by steel frames with sheet
+// rock on top") and specular reflection loss (the wall "flash" and the
+// dynamic multipath bounces of Section 4.3).
+#pragma once
+
+#include <string>
+
+namespace witrack::rf {
+
+struct Material {
+    std::string name;
+    double traversal_loss_db;   ///< one-way attenuation through the wall
+    double reflection_loss_db;  ///< loss on a specular bounce off the wall
+};
+
+namespace materials {
+
+/// Standard office hollow wall: sheetrock over steel studs (the paper's
+/// test wall). Moderate traversal loss, fairly strong reflection.
+inline Material sheetrock() { return {"sheetrock", 5.0, 5.0}; }
+
+/// Poured concrete: nearly opaque at 6 GHz.
+inline Material concrete() { return {"concrete", 18.0, 3.0}; }
+
+/// Interior glass partition.
+inline Material glass() { return {"glass", 3.0, 9.0}; }
+
+/// Wooden door / panel.
+inline Material wood() { return {"wood", 4.5, 8.0}; }
+
+}  // namespace materials
+
+}  // namespace witrack::rf

@@ -1,0 +1,34 @@
+// Receiver noise model. The per-sample baseband noise standard deviation
+// follows kT * F * fs/2 where F is the *system* noise figure. F defaults
+// high (40 dB) because it lumps together everything a behavioural model
+// does not track explicitly: mixer conversion loss, synthesizer phase
+// noise, ADC noise and residual clutter. The value is calibrated so that a
+// person at 5 m line-of-sight yields a post-FFT SNR around 30 dB, matching
+// the qualitative SNR regime of the paper's prototype.
+#pragma once
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace witrack::rf {
+
+struct NoiseModel {
+    double system_noise_figure_db = 34.0;
+
+    /// Standard deviation of additive white Gaussian noise per baseband
+    /// sample at the given sample rate.
+    double sample_stddev(double sample_rate_hz) const {
+        const double n0 = kBoltzmann * kReferenceTemperatureK *
+                          from_db(system_noise_figure_db);
+        return std::sqrt(n0 * sample_rate_hz / 2.0);
+    }
+
+    double sample(Rng& rng, double sample_rate_hz) const {
+        return rng.gaussian(sample_stddev(sample_rate_hz));
+    }
+};
+
+}  // namespace witrack::rf

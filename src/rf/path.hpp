@@ -1,0 +1,26 @@
+// Propagation path description handed from the channel model to the FMCW
+// front end. Each path contributes one beat tone to the dechirped baseband
+// signal, at frequency slope * (round_trip_m / C) (paper Eq. 1).
+#pragma once
+
+#include <vector>
+
+namespace witrack::rf {
+
+enum class PathKind {
+    kTxLeakage,      ///< direct Tx->Rx coupling (strong, very short delay)
+    kStaticClutter,  ///< walls / furniture; constant over time
+    kBodyDirect,     ///< Tx -> body -> Rx, the reflection WiTrack wants
+    kBodyMultipath,  ///< Tx -> body -> wall -> Rx (dynamic multipath)
+};
+
+struct PropagationPath {
+    double round_trip_m = 0.0;  ///< total geometric path length [m]
+    double amplitude = 0.0;     ///< received amplitude at the antenna port
+    double phase_rad = 0.0;     ///< reflection/scattering phase offset
+    PathKind kind = PathKind::kStaticClutter;
+};
+
+using PathList = std::vector<PropagationPath>;
+
+}  // namespace witrack::rf

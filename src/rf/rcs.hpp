@@ -1,0 +1,59 @@
+// Radar cross-sections of body parts at ~6 GHz with Swerling-style
+// scintillation: the echo power of an extended target fluctuates frame to
+// frame as its sub-scatterers move in and out of phase.
+//
+// The torso and legs behave like a dominant scatterer plus small ones
+// (Swerling III: chi-squared with 4 DoF -- milder fading), while small
+// parts (arm, hand, head) are collections of comparable scatterers
+// (Swerling I: exponential power). The pointing detector (paper
+// Section 6.1) relies on the arm's reflection surface being much smaller
+// than the whole body's.
+#pragma once
+
+#include "common/random.hpp"
+
+namespace witrack::rf {
+
+enum class Fluctuation {
+    kSwerlingI,    ///< exponential power (many comparable scatterers)
+    kSwerlingIII,  ///< chi-squared 4 DoF (one dominant scatterer)
+    kSteady,       ///< no fluctuation (calibration targets)
+};
+
+struct RcsModel {
+    double mean_rcs_m2 = 1.0;
+    Fluctuation fluctuation = Fluctuation::kSwerlingI;
+
+    /// Draw a fluctuated RCS for one coherent processing interval.
+    double sample(Rng& rng) const {
+        switch (fluctuation) {
+            case Fluctuation::kSwerlingI:
+                return rng.exponential(mean_rcs_m2);
+            case Fluctuation::kSwerlingIII:
+                // Sum of two exponentials with half the mean: chi^2_4.
+                return rng.exponential(mean_rcs_m2 / 2.0) +
+                       rng.exponential(mean_rcs_m2 / 2.0);
+            case Fluctuation::kSteady:
+                return mean_rcs_m2;
+        }
+        return mean_rcs_m2;
+    }
+};
+
+namespace rcs {
+
+inline RcsModel torso() { return {0.80, Fluctuation::kSwerlingIII}; }
+inline RcsModel head() { return {0.10, Fluctuation::kSwerlingI}; }
+inline RcsModel leg() { return {0.12, Fluctuation::kSwerlingIII}; }
+inline RcsModel arm() { return {0.05, Fluctuation::kSwerlingI}; }
+inline RcsModel hand() { return {0.04, Fluctuation::kSwerlingI}; }
+
+/// Furniture-scale static reflector.
+inline RcsModel furniture() { return {1.5, Fluctuation::kSteady}; }
+
+/// Calibration sphere (tests): steady echo.
+inline RcsModel reference(double rcs) { return {rcs, Fluctuation::kSteady}; }
+
+}  // namespace rcs
+
+}  // namespace witrack::rf

@@ -1,0 +1,33 @@
+// Scene description consumed by the channel model: walls (finite panels)
+// and static point clutter (furniture, cabinets, radiators). The human is
+// not part of the scene; body scatterers are supplied per sweep by the
+// motion simulator.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "rf/wall.hpp"
+
+namespace witrack::rf {
+
+struct StaticReflector {
+    geom::Vec3 position;
+    double rcs_m2 = 1.0;
+};
+
+/// One scattering centre on the tracked person, with an RCS already
+/// fluctuated for the current coherent interval and a scattering phase that
+/// evolves slowly as the body articulates.
+struct BodyScatterer {
+    geom::Vec3 position;
+    double rcs_m2 = 0.5;
+    double phase_rad = 0.0;
+};
+
+struct Scene {
+    std::vector<Wall> walls;
+    std::vector<StaticReflector> clutter;
+};
+
+}  // namespace witrack::rf

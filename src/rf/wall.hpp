@@ -1,0 +1,88 @@
+// Finite rectangular wall panels. Walls play three roles in the channel:
+// they attenuate paths that cross them (through-wall tracking), they produce
+// strong static specular reflections (the "flash effect", Section 4.2), and
+// they create dynamic multipath by reflecting body echoes (Section 4.3).
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "geom/vec3.hpp"
+#include "rf/material.hpp"
+
+namespace witrack::rf {
+
+class Wall {
+  public:
+    /// `center` is the panel centre; `normal` its unit normal; `u_axis` an
+    /// in-plane unit vector; the panel spans +/-half_u along u_axis and
+    /// +/-half_v along normal x u_axis.
+    Wall(const geom::Vec3& center, const geom::Vec3& normal, const geom::Vec3& u_axis,
+         double half_u, double half_v, Material material)
+        : center_(center),
+          normal_(normal.normalized()),
+          u_(u_axis.normalized()),
+          v_(normal_.cross(u_).normalized()),
+          half_u_(half_u),
+          half_v_(half_v),
+          material_(std::move(material)) {}
+
+    const Material& material() const { return material_; }
+    const geom::Vec3& center() const { return center_; }
+    const geom::Vec3& normal() const { return normal_; }
+
+    /// Signed distance of a point from the wall plane.
+    double signed_distance(const geom::Vec3& p) const {
+        return (p - center_).dot(normal_);
+    }
+
+    /// True when the open segment a->b passes through the panel.
+    bool segment_crosses(const geom::Vec3& a, const geom::Vec3& b) const {
+        const double da = signed_distance(a);
+        const double db = signed_distance(b);
+        if (da * db >= 0.0) return false;  // same side (or touching)
+        const double t = da / (da - db);
+        const geom::Vec3 hit = geom::lerp(a, b, t);
+        return within_panel(hit);
+    }
+
+    /// Mirror image of a point across the wall plane (for first-order
+    /// specular multipath via the image method).
+    geom::Vec3 mirror(const geom::Vec3& p) const {
+        return p - normal_ * (2.0 * signed_distance(p));
+    }
+
+    /// Specular reflection point for a bounce from `a` to `b` off this wall,
+    /// if it lands on the finite panel and both endpoints are on the same
+    /// side (a real bounce, not a traversal).
+    std::optional<geom::Vec3> specular_point(const geom::Vec3& a, const geom::Vec3& b) const {
+        const double da = signed_distance(a);
+        const double db = signed_distance(b);
+        if (da * db <= 0.0) return std::nullopt;  // opposite sides: no bounce
+        const geom::Vec3 b_img = mirror(b);
+        const double da2 = signed_distance(a);
+        const double db2 = signed_distance(b_img);
+        if (da2 == db2) return std::nullopt;
+        const double t = da2 / (da2 - db2);
+        if (t < 0.0 || t > 1.0) return std::nullopt;
+        const geom::Vec3 hit = geom::lerp(a, b_img, t);
+        if (!within_panel(hit)) return std::nullopt;
+        return hit;
+    }
+
+    bool within_panel(const geom::Vec3& p) const {
+        const geom::Vec3 d = p - center_;
+        return std::abs(d.dot(u_)) <= half_u_ && std::abs(d.dot(v_)) <= half_v_;
+    }
+
+  private:
+    geom::Vec3 center_;
+    geom::Vec3 normal_;
+    geom::Vec3 u_;
+    geom::Vec3 v_;
+    double half_u_;
+    double half_v_;
+    Material material_;
+};
+
+}  // namespace witrack::rf

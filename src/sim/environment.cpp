@@ -1,0 +1,51 @@
+#include "sim/environment.hpp"
+
+namespace witrack::sim {
+
+using geom::Vec3;
+using rf::StaticReflector;
+using rf::Wall;
+
+Environment make_lab_environment(const RoomSpec& spec) {
+    Environment env;
+    const double mid_y = spec.near_wall_y_m + spec.depth_m / 2.0;
+    const double mid_z = spec.height_m / 2.0;
+
+    // Front wall (between device and room) only exists for the through-wall
+    // deployment; in line-of-sight the device stands inside the room.
+    if (spec.device_outside) {
+        env.scene.walls.emplace_back(Vec3{0.0, spec.near_wall_y_m, mid_z},
+                                     Vec3{0.0, 1.0, 0.0}, Vec3{1.0, 0.0, 0.0},
+                                     spec.half_width_m, mid_z, spec.wall_material);
+    }
+
+    // Side walls.
+    env.scene.walls.emplace_back(Vec3{-spec.half_width_m, mid_y, mid_z},
+                                 Vec3{1.0, 0.0, 0.0}, Vec3{0.0, 1.0, 0.0},
+                                 spec.depth_m / 2.0, mid_z, spec.wall_material);
+    env.scene.walls.emplace_back(Vec3{+spec.half_width_m, mid_y, mid_z},
+                                 Vec3{-1.0, 0.0, 0.0}, Vec3{0.0, 1.0, 0.0},
+                                 spec.depth_m / 2.0, mid_z, spec.wall_material);
+
+    // Back wall.
+    env.scene.walls.emplace_back(Vec3{0.0, spec.near_wall_y_m + spec.depth_m, mid_z},
+                                 Vec3{0.0, -1.0, 0.0}, Vec3{1.0, 0.0, 0.0},
+                                 spec.half_width_m, mid_z, spec.wall_material);
+
+    // Furniture: static point reflectors that create the horizontal stripes
+    // of Fig. 3(a).
+    if (spec.add_furniture) {
+        env.scene.clutter.push_back(StaticReflector{{2.2, 4.1, 0.75}, 1.6});   // desk
+        env.scene.clutter.push_back(StaticReflector{{-2.8, 6.3, 1.05}, 2.2});  // cabinet
+        env.scene.clutter.push_back(StaticReflector{{1.4, 9.2, 0.45}, 1.0});   // radiator
+        env.scene.clutter.push_back(StaticReflector{{-1.0, 8.6, 0.8}, 0.9});   // chair
+    }
+
+    env.bounds.x_min = -spec.half_width_m + 1.0;
+    env.bounds.x_max = spec.half_width_m - 1.0;
+    env.bounds.y_min = spec.near_wall_y_m + 2.5;
+    env.bounds.y_max = spec.near_wall_y_m + spec.depth_m - 2.0;
+    return env;
+}
+
+}  // namespace witrack::sim

@@ -1,0 +1,57 @@
+// Environment builder: rooms with walls and furniture clutter matching the
+// paper's evaluation setup (Section 8): a VICON room with 6-inch sheetrock
+// walls, the device either inside the room (line-of-sight, Fig. 8a) or
+// behind the front wall in the adjacent hallway (through-wall, Fig. 8b).
+//
+// World frame: the device (Tx antenna) sits at the origin's x/y with the Tx
+// at height ~1.3 m; +y points from the device into the tracked room; z is
+// elevation above the floor (z = 0).
+#pragma once
+
+#include "rf/scene.hpp"
+
+namespace witrack::sim {
+
+struct RoomSpec {
+    double half_width_m = 4.0;       ///< room spans x in [-half_width, half_width]
+    double near_wall_y_m = 0.3;      ///< front wall y (device at y = 0)
+    double depth_m = 10.0;           ///< back wall at near_wall_y + depth
+    double height_m = 3.0;
+    rf::Material wall_material = rf::materials::sheetrock();
+    bool device_outside = true;      ///< true: through-wall; false: LOS (no front wall)
+    bool add_furniture = true;       ///< desks/cabinets as static point clutter
+};
+
+/// Area in which the person is allowed to move (the paper's 6 x 5 m VICON
+/// capture area, about 2.5 m behind the front wall).
+struct MotionBounds {
+    double x_min = -3.0, x_max = 3.0;
+    double y_min = 3.0, y_max = 8.0;
+};
+
+struct Environment {
+    rf::Scene scene;
+    MotionBounds bounds;
+    double ground_z = 0.0;
+};
+
+/// Build the evaluation environment.
+Environment make_lab_environment(const RoomSpec& spec = RoomSpec{});
+
+/// Paper Section 9.1 through-wall setup: device in the hallway, antennas
+/// facing the VICON room's front wall.
+inline Environment make_through_wall_lab() {
+    RoomSpec spec;
+    spec.device_outside = true;
+    return make_lab_environment(spec);
+}
+
+/// Paper Fig. 8(a) line-of-sight setup: device inside the room next to the
+/// wall.
+inline Environment make_line_of_sight_lab() {
+    RoomSpec spec;
+    spec.device_outside = false;
+    return make_lab_environment(spec);
+}
+
+}  // namespace witrack::sim

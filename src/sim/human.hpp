@@ -1,0 +1,75 @@
+// Articulated human scattering model. The body is a constellation of
+// scattering centres (torso, head, two arms, two legs) whose positions
+// follow the body centre with gait-driven oscillation, and whose RCS
+// scintillates frame to frame (Swerling-I).
+//
+// Error realism: the reflection point WiTrack ranges to is the body
+// *surface*, wanders with gait, and differs subtly per receive antenna
+// (e.g. the low antenna sees the legs better). This is what produces the
+// paper's error anatomy: z error > x error > y error (Section 9.1), with
+// VICON-style centre-vs-surface depth compensation applied downstream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "geom/vec3.hpp"
+#include "rf/rcs.hpp"
+#include "rf/scene.hpp"
+
+namespace witrack::sim {
+
+struct HumanParams {
+    double height_m = 1.75;
+    double torso_half_depth_m = 0.11;  ///< body-centre to chest-surface depth
+    double shoulder_half_width_m = 0.22;
+    double gait_wander_m = 0.06;       ///< horizontal reflection-point wander at walking speed
+    double vertical_wander_m = 0.14;   ///< vertical reflection-centre wander at walking speed
+    double arm_length_m = 0.65;
+};
+
+/// Instantaneous commanded pose from a motion script.
+struct Pose {
+    geom::Vec3 center;                ///< body-centre ground truth ("VICON")
+    double speed_mps = 0.0;           ///< horizontal speed (drives gait)
+    double posture_scale = 1.0;       ///< 1 standing; < 1 compresses heights (sit/fall)
+    std::optional<geom::Vec3> hand;   ///< explicit hand position during gestures
+    bool body_static = false;         ///< freeze body scatterers (pointing stance)
+};
+
+class HumanModel {
+  public:
+    HumanModel(HumanParams params, Rng rng);
+
+    /// Advance the internal gait/scintillation state by dt and produce the
+    /// scatterer constellation for the next coherent interval.
+    /// `device_position` orients the reflecting surface toward the radar.
+    std::vector<rf::BodyScatterer> update(const Pose& pose, double dt,
+                                          const geom::Vec3& device_position);
+
+    const HumanParams& params() const { return params_; }
+
+    /// Ground-truth body centre of the last pose.
+    const geom::Vec3& body_center() const { return center_; }
+
+  private:
+    struct Part {
+        rf::RcsModel rcs;
+        double rcs_now = 0.0;
+        double phase_now = 0.0;
+    };
+
+    void refresh_fluctuations(double activity);  // activity in [0,1]
+
+    HumanParams params_;
+    Rng rng_;
+    geom::Vec3 center_{};
+    double gait_phase_ = 0.0;
+    double wander_x_ = 0.0, wander_y_ = 0.0, wander_z_ = 0.0;
+    Part torso_, head_, arm_left_, arm_right_, leg_left_, leg_right_, hand_;
+    bool fluctuations_initialized_ = false;
+};
+
+}  // namespace witrack::sim

@@ -1,0 +1,201 @@
+#include "sim/motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace witrack::sim {
+
+using geom::Vec3;
+
+double smoothstep01(double t) {
+    t = std::clamp(t, 0.0, 1.0);
+    return t * t * (3.0 - 2.0 * t);
+}
+
+// ------------------------------------------------------ RandomWaypointWalk
+
+RandomWaypointWalk::RandomWaypointWalk(const MotionBounds& bounds, double duration_s,
+                                       Rng rng, double speed_min, double speed_max,
+                                       double pause_probability, double center_height)
+    : duration_(duration_s), center_height_(center_height) {
+    // Pre-generate the waypoint timeline so pose_at() is a pure function of
+    // t (scripts can be queried out of order).
+    Vec3 pos{rng.uniform(bounds.x_min, bounds.x_max),
+             rng.uniform(bounds.y_min, bounds.y_max), 0.0};
+    double t = 0.0;
+    knots_.push_back({0.0, pos});
+    while (t < duration_) {
+        if (rng.chance(pause_probability)) {
+            const double pause = rng.uniform(0.8, 2.5);
+            t += pause;
+            knots_.push_back({t, pos});
+            continue;
+        }
+        const Vec3 next{rng.uniform(bounds.x_min, bounds.x_max),
+                        rng.uniform(bounds.y_min, bounds.y_max), 0.0};
+        const double speed = rng.uniform(speed_min, speed_max);
+        const double dist = (next - pos).norm();
+        if (dist < 0.5) continue;
+        t += dist / speed;
+        pos = next;
+        knots_.push_back({t, pos});
+    }
+}
+
+Pose RandomWaypointWalk::pose_at(double t) const {
+    t = std::clamp(t, 0.0, duration_);
+    Pose pose;
+    pose.center = {knots_.back().pos.x, knots_.back().pos.y, center_height_};
+    for (std::size_t i = 1; i < knots_.size(); ++i) {
+        if (t > knots_[i].t) continue;
+        const auto& a = knots_[i - 1];
+        const auto& b = knots_[i];
+        const double span = b.t - a.t;
+        const double u = span > 0.0 ? (t - a.t) / span : 1.0;
+        const Vec3 p = geom::lerp(a.pos, b.pos, u);
+        pose.center = {p.x, p.y, center_height_};
+        pose.speed_mps = span > 0.0 ? (b.pos - a.pos).norm() / span : 0.0;
+        break;
+    }
+    return pose;
+}
+
+// ----------------------------------------------------------- ActivityScript
+
+ActivityScript::ActivityScript(ActivityKind kind, const MotionBounds& bounds, Rng rng,
+                               double duration_s, double subject_height)
+    : kind_(kind), duration_(duration_s) {
+    stand_z_ = 0.57 * subject_height;
+    walk_from_ = {rng.uniform(bounds.x_min, bounds.x_max),
+                  rng.uniform(bounds.y_min, bounds.y_max), 0.0};
+    walk_to_ = {rng.uniform(bounds.x_min, bounds.x_max),
+                rng.uniform(bounds.y_min, bounds.y_max), 0.0};
+    walk_until_ = rng.uniform(6.0, 10.0);
+    transition_start_ = walk_until_ + rng.uniform(0.8, 1.5);
+
+    switch (kind) {
+        case ActivityKind::kWalk:
+            transition_duration_ = 0.0;
+            final_z_ = stand_z_;
+            final_posture_ = 1.0;
+            break;
+        case ActivityKind::kSitChair:
+            // Chair seat ~0.45 m; body centre ends around 0.62 m.
+            transition_duration_ = rng.uniform(0.9, 1.6);
+            final_z_ = rng.uniform(0.58, 0.70);
+            final_posture_ = 0.75;
+            break;
+        case ActivityKind::kSitFloor:
+            // Sitting on the floor: slow, controlled descent to near ground.
+            // Lower tail overlaps fast enough to occasionally look like a
+            // fall, as in the paper's one misclassified floor-sit.
+            transition_duration_ = rng.uniform(1.5, 2.6);
+            final_z_ = rng.uniform(0.26, 0.36);
+            final_posture_ = 0.4;
+            break;
+        case ActivityKind::kFall:
+            // Falls are fast, but a minority are slow crumples that the
+            // detector may miss (the paper missed 2 of 33).
+            transition_duration_ = rng.chance(0.07) ? rng.uniform(0.95, 1.35)
+                                                    : rng.uniform(0.30, 0.65);
+            final_z_ = rng.uniform(0.08, 0.18);
+            final_posture_ = 0.15;
+            break;
+    }
+}
+
+Pose ActivityScript::pose_at(double t) const {
+    t = std::clamp(t, 0.0, duration_);
+    Pose pose;
+
+    if (kind_ == ActivityKind::kWalk) {
+        // Walk the whole time, looping between the two endpoints.
+        const double leg_time = std::max(
+            0.5, (walk_to_ - walk_from_).norm() / 1.0);
+        const double phase = std::fmod(t, 2.0 * leg_time);
+        const double u = phase < leg_time ? phase / leg_time
+                                          : 2.0 - phase / leg_time;
+        const Vec3 p = geom::lerp(walk_from_, walk_to_, u);
+        pose.center = {p.x, p.y, stand_z_};
+        pose.speed_mps = (walk_to_ - walk_from_).norm() / leg_time;
+        return pose;
+    }
+
+    // Walk -> pause -> transition -> rest.
+    if (t < walk_until_) {
+        const double u = smoothstep01(t / walk_until_);
+        const Vec3 p = geom::lerp(walk_from_, walk_to_, u);
+        pose.center = {p.x, p.y, stand_z_};
+        pose.speed_mps = (walk_to_ - walk_from_).norm() / walk_until_;
+        return pose;
+    }
+
+    pose.center = {walk_to_.x, walk_to_.y, stand_z_};
+    if (t < transition_start_) {
+        pose.speed_mps = 0.05;  // settling
+        return pose;
+    }
+
+    const double u =
+        transition_duration_ > 0.0
+            ? smoothstep01((t - transition_start_) / transition_duration_)
+            : 1.0;
+    pose.center.z = stand_z_ + (final_z_ - stand_z_) * u;
+    pose.posture_scale = 1.0 + (final_posture_ - 1.0) * u;
+    // Vertical speed keeps the body "articulating" during the transition so
+    // it stays visible to background subtraction; people also shift for a
+    // couple of seconds after landing (settling), which is what lets the
+    // tracker converge on the final elevation.
+    const double transition_end = transition_start_ + transition_duration_;
+    if (u < 1.0)
+        pose.speed_mps = std::max(
+            0.3, std::abs(stand_z_ - final_z_) / std::max(0.2, transition_duration_));
+    else if (t < transition_end + 2.0)
+        pose.speed_mps = 0.25;
+    else
+        pose.speed_mps = 0.0;
+    return pose;
+}
+
+// ----------------------------------------------------------- PointingScript
+
+PointingScript::PointingScript(const Vec3& stand_position, const Vec3& direction,
+                               Rng rng, double center_height)
+    : stand_(stand_position),
+      direction_(direction.normalized()),
+      center_height_(center_height) {
+    raise_start_ = 1.2 + rng.uniform(0.0, 0.4);
+    raise_duration_ = rng.uniform(0.7, 1.1);
+    hold_duration_ = 1.0 + rng.uniform(0.0, 0.3);
+    drop_start_ = raise_start_ + raise_duration_ + hold_duration_;
+    drop_duration_ = rng.uniform(0.7, 1.1);
+    duration_ = drop_start_ + drop_duration_ + 1.5;
+
+    const Vec3 center{stand_.x, stand_.y, center_height_};
+    const Vec3 shoulder = center + Vec3{0.22, 0.0, 0.18};
+    hand_rest_ = center + Vec3{0.25, 0.0, -0.30};
+    hand_extended_ = shoulder + direction_ * 0.65;
+}
+
+Vec3 PointingScript::hand_at(double t) const {
+    if (t < raise_start_) return hand_rest_;
+    if (t < raise_start_ + raise_duration_)
+        return geom::lerp(hand_rest_, hand_extended_,
+                          smoothstep01((t - raise_start_) / raise_duration_));
+    if (t < drop_start_) return hand_extended_;
+    if (t < drop_start_ + drop_duration_)
+        return geom::lerp(hand_extended_, hand_rest_,
+                          smoothstep01((t - drop_start_) / drop_duration_));
+    return hand_rest_;
+}
+
+Pose PointingScript::pose_at(double t) const {
+    Pose pose;
+    pose.center = {stand_.x, stand_.y, center_height_};
+    pose.speed_mps = 0.0;
+    pose.body_static = true;
+    pose.hand = hand_at(std::clamp(t, 0.0, duration_));
+    return pose;
+}
+
+}  // namespace witrack::sim

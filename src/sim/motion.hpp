@@ -1,0 +1,158 @@
+// Motion scripts: time-parameterized activity generators that play the role
+// of the paper's human subjects (Section 8c). Each script produces the
+// ground-truth Pose stream for one experiment; the simulator's pose doubles
+// as the VICON reference.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "geom/vec3.hpp"
+#include "sim/environment.hpp"
+#include "sim/human.hpp"
+
+namespace witrack::sim {
+
+class MotionScript {
+  public:
+    virtual ~MotionScript() = default;
+    virtual Pose pose_at(double t) const = 0;
+    virtual double duration_s() const = 0;
+};
+
+/// Smoothstep easing in [0, 1].
+double smoothstep01(double t);
+
+/// Random-waypoint walking inside the motion bounds, with occasional
+/// pauses: the "move at will" workload of the tracking experiments
+/// (Sections 9.1-9.3). Standing body-centre height scales with the subject.
+class RandomWaypointWalk : public MotionScript {
+  public:
+    RandomWaypointWalk(const MotionBounds& bounds, double duration_s, Rng rng,
+                       double speed_min = 0.5, double speed_max = 1.3,
+                       double pause_probability = 0.25, double center_height = 1.0);
+
+    Pose pose_at(double t) const override;
+    double duration_s() const override { return duration_; }
+
+  private:
+    struct Knot {
+        double t;
+        geom::Vec3 pos;
+    };
+    double duration_;
+    double center_height_;
+    std::vector<Knot> knots_;
+};
+
+/// Activity scripts for fall detection (Section 6.2 / 9.5). All four share
+/// the same shape: walk briefly, then perform the activity, then remain.
+enum class ActivityKind { kWalk, kSitChair, kSitFloor, kFall };
+
+class ActivityScript : public MotionScript {
+  public:
+    /// Randomized transition duration and end elevation per activity class;
+    /// the distributions deliberately overlap slightly (a slow crumple vs a
+    /// fast floor-sit) so classification is non-trivial, as in the paper's
+    /// 132-experiment study.
+    ActivityScript(ActivityKind kind, const MotionBounds& bounds, Rng rng,
+                   double duration_s = 30.0, double subject_height = 1.75);
+
+    Pose pose_at(double t) const override;
+    double duration_s() const override { return duration_; }
+
+    ActivityKind kind() const { return kind_; }
+    double transition_duration_s() const { return transition_duration_; }
+    double final_elevation_m() const { return final_z_; }
+
+  private:
+    ActivityKind kind_;
+    double duration_;
+    double stand_z_;
+    double final_z_;
+    double transition_start_;
+    double transition_duration_;
+    double final_posture_;
+    geom::Vec3 walk_from_, walk_to_;
+    double walk_until_;
+};
+
+/// Pointing gesture (Section 6.1): stand still, raise the arm toward a
+/// chosen direction, hold, drop, stand still. The body stays static so only
+/// the arm survives background subtraction.
+class PointingScript : public MotionScript {
+  public:
+    PointingScript(const geom::Vec3& stand_position, const geom::Vec3& direction,
+                   Rng rng, double center_height = 1.0);
+
+    Pose pose_at(double t) const override;
+    double duration_s() const override { return duration_; }
+
+    /// Ground-truth pointing direction (unit vector).
+    const geom::Vec3& true_direction() const { return direction_; }
+    double raise_start_s() const { return raise_start_; }
+    double drop_end_s() const { return drop_start_ + drop_duration_; }
+
+  private:
+    geom::Vec3 hand_at(double t) const;
+
+    geom::Vec3 stand_;
+    geom::Vec3 direction_;
+    double center_height_;
+    double raise_start_, raise_duration_;
+    double hold_duration_;
+    double drop_start_, drop_duration_;
+    double duration_;
+    geom::Vec3 hand_rest_, hand_extended_;
+};
+
+/// Stand perfectly still for the whole duration (used by the static-user
+/// calibration extension and negative-control tests).
+class StandStillScript : public MotionScript {
+  public:
+    StandStillScript(const geom::Vec3& position, double duration_s,
+                     double center_height = 1.0)
+        : position_(position), duration_(duration_s), center_height_(center_height) {}
+
+    Pose pose_at(double) const override {
+        Pose p;
+        p.center = {position_.x, position_.y, center_height_};
+        p.speed_mps = 0.0;
+        p.body_static = true;
+        return p;
+    }
+    double duration_s() const override { return duration_; }
+
+  private:
+    geom::Vec3 position_;
+    double duration_;
+    double center_height_;
+};
+
+/// Deterministic straight-line walk between two points (unit tests and
+/// ablation benches need repeatable geometry).
+class LineWalkScript : public MotionScript {
+  public:
+    LineWalkScript(const geom::Vec3& from, const geom::Vec3& to, double duration_s,
+                   double center_height = 1.0)
+        : from_(from), to_(to), duration_(duration_s), center_height_(center_height) {}
+
+    Pose pose_at(double t) const override {
+        const double u = std::clamp(t / duration_, 0.0, 1.0);
+        Pose p;
+        const geom::Vec3 pos = geom::lerp(from_, to_, u);
+        p.center = {pos.x, pos.y, center_height_};
+        p.speed_mps = (to_ - from_).norm() / duration_;
+        return p;
+    }
+    double duration_s() const override { return duration_; }
+
+  private:
+    geom::Vec3 from_, to_;
+    double duration_;
+    double center_height_;
+};
+
+}  // namespace witrack::sim

@@ -1,0 +1,90 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+
+#include "hw/pll.hpp"
+#include "hw/vco.hpp"
+
+namespace witrack::sim {
+
+using geom::Vec3;
+
+hw::SweepNonlinearity simulate_pll_residual(const FmcwParams& fmcw) {
+    const hw::Vco vco;
+    const hw::SweepLinearizer linearizer;
+    const auto result = linearizer.simulate_sweep(vco, fmcw);
+    return result.fit_ripple(fmcw.sweep_duration_s);
+}
+
+Scenario::Scenario(ScenarioConfig config, std::unique_ptr<MotionScript> script,
+                   std::unique_ptr<MotionScript> second_script)
+    : config_(std::move(config)),
+      script_(std::move(script)),
+      second_script_(std::move(second_script)) {
+    config_.fmcw.validate();
+
+    RoomSpec room;
+    room.device_outside = config_.through_wall;
+    environment_ = make_lab_environment(room);
+
+    array_ = geom::make_t_array(Vec3{0.0, 0.0, config_.device_height_m},
+                                config_.antenna_separation_m);
+
+    // Antennas face +y into the room.
+    rf::Antenna tx{array_.tx, array_.boresight, {}};
+    std::vector<rf::Antenna> rx;
+    for (const auto& p : array_.rx) rx.push_back({p, array_.boresight, {}});
+
+    rf::ChannelConfig channel_config;
+    channel_config.fmcw = config_.fmcw;
+    rf::Channel channel(channel_config, tx, rx, environment_.scene);
+
+    Rng rng(config_.seed);
+
+    hw::FrontendConfig fe;
+    fe.fmcw = config_.fmcw;
+    fe.noise = config_.noise;
+    if (config_.model_sweep_nonlinearity)
+        fe.nonlinearity = simulate_pll_residual(config_.fmcw);
+    if (config_.fast_capture) {
+        // One synthesized sweep stands in for the coherent average of
+        // sweeps_per_frame sweeps: noise and jitter shrink by sqrt(n).
+        const double n = static_cast<double>(config_.fmcw.sweeps_per_frame);
+        fe.noise.system_noise_figure_db -= 10.0 * std::log10(n);
+        fe.static_gain_jitter /= std::sqrt(n);
+    }
+    frontend_ = std::make_unique<hw::FmcwFrontend>(fe, std::move(channel), rng.fork(1));
+
+    human_ = std::make_unique<HumanModel>(config_.human, rng.fork(2));
+    if (config_.second_person || second_script_)
+        human2_ = std::make_unique<HumanModel>(config_.human, rng.fork(3));
+}
+
+bool Scenario::next(Frame& frame) {
+    // Index-based time avoids accumulation drift in the end-of-script test.
+    const double time_s = static_cast<double>(frame_index_) * frame_dt();
+    if (time_s >= script_->duration_s()) return false;
+
+    frame.time_s = time_s;
+    frame.pose = script_->pose_at(time_s);
+    frame.pose2.reset();
+
+    const double dt = frame_dt();
+    auto scatterers = human_->update(frame.pose, dt, array_.tx);
+    if (human2_ && second_script_) {
+        frame.pose2 = second_script_->pose_at(time_s);
+        const auto extra = human2_->update(*frame.pose2, dt, array_.tx);
+        scatterers.insert(scatterers.end(), extra.begin(), extra.end());
+    }
+
+    const std::size_t sweeps =
+        config_.fast_capture ? 1 : config_.fmcw.sweeps_per_frame;
+    frame.sweeps.resize(sweeps);
+    for (std::size_t s = 0; s < sweeps; ++s)
+        frame.sweeps[s] = frontend_->capture_sweep(scatterers);
+
+    ++frame_index_;
+    return true;
+}
+
+}  // namespace witrack::sim

@@ -1,0 +1,80 @@
+// Scenario engine: wires an environment, a human (or two), the RF channel
+// and the FMCW front end into a streaming source of (ground truth, baseband
+// sweeps) frames -- the simulated equivalent of one evaluation experiment
+// (paper Section 8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "geom/array_geometry.hpp"
+#include "hw/frontend.hpp"
+#include "sim/environment.hpp"
+#include "sim/human.hpp"
+#include "sim/motion.hpp"
+
+namespace witrack::sim {
+
+struct ScenarioConfig {
+    FmcwParams fmcw;
+    bool through_wall = true;
+    double antenna_separation_m = 1.0;
+    double device_height_m = 1.3;
+    rf::NoiseModel noise;
+    HumanParams human;
+    std::uint64_t seed = 1;
+    /// Synthesize one statistically equivalent averaged sweep per frame
+    /// instead of all sweeps_per_frame sweeps (5x faster; the coherent
+    /// 5-sweep average is computed analytically by scaling noise by
+    /// 1/sqrt(n)). Large parameter-sweep benches enable this.
+    bool fast_capture = false;
+    /// Model the residual PLL sweep nonlinearity (fit from the VCO+PLL
+    /// simulation) instead of a perfectly linear sweep.
+    bool model_sweep_nonlinearity = true;
+    /// Optional second person (multi-person tracking extension).
+    bool second_person = false;
+};
+
+class Scenario {
+  public:
+    Scenario(ScenarioConfig config, std::unique_ptr<MotionScript> script,
+             std::unique_ptr<MotionScript> second_script = nullptr);
+
+    struct Frame {
+        double time_s = 0.0;
+        /// sweeps[s][rx] is one baseband sweep (samples_per_sweep doubles).
+        std::vector<std::vector<std::vector<double>>> sweeps;
+        Pose pose;                  ///< person 1 ground truth
+        std::optional<Pose> pose2;  ///< person 2 ground truth, if present
+    };
+
+    /// Produce the next frame; returns false when the script has ended.
+    bool next(Frame& frame);
+
+    const geom::ArrayGeometry& array() const { return array_; }
+    const Environment& environment() const { return environment_; }
+    const ScenarioConfig& config() const { return config_; }
+    double frame_dt() const { return config_.fmcw.frame_duration_s(); }
+    double duration_s() const { return script_->duration_s(); }
+    const MotionScript& script() const { return *script_; }
+
+  private:
+    ScenarioConfig config_;
+    std::unique_ptr<MotionScript> script_;
+    std::unique_ptr<MotionScript> second_script_;
+    Environment environment_;
+    geom::ArrayGeometry array_;
+    std::unique_ptr<hw::FmcwFrontend> frontend_;
+    std::unique_ptr<HumanModel> human_;
+    std::unique_ptr<HumanModel> human2_;
+    std::size_t frame_index_ = 0;
+};
+
+/// Derive the residual sweep nonlinearity by running the VCO + PLL loop
+/// simulation once (paper Fig. 7's feedback linearizer).
+hw::SweepNonlinearity simulate_pll_residual(const FmcwParams& fmcw);
+
+}  // namespace witrack::sim

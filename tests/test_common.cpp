@@ -1,0 +1,150 @@
+// Unit tests for src/common: FMCW parameter derivations (paper Eq. 1-4),
+// unit conversions, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/cli.hpp"
+#include "common/constants.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace witrack {
+namespace {
+
+TEST(FmcwParams, PaperDefaultsMatchSection4) {
+    FmcwParams p;
+    EXPECT_DOUBLE_EQ(p.bandwidth_hz, 1.69e9);
+    EXPECT_DOUBLE_EQ(p.sweep_duration_s, 2.5e-3);
+    EXPECT_EQ(p.samples_per_sweep(), 2500u);
+    EXPECT_EQ(p.sweeps_per_frame, 5u);
+    EXPECT_NEAR(p.frame_duration_s(), 12.5e-3, 1e-12);
+    EXPECT_NEAR(p.frame_rate_hz(), 80.0, 1e-9);
+}
+
+TEST(FmcwParams, RangeResolutionIsEightPointEightCentimeters) {
+    // Eq. 3: resolution = C / 2B = 8.87 cm for B = 1.69 GHz.
+    FmcwParams p;
+    EXPECT_NEAR(p.range_resolution_m(), 0.0887, 0.0005);
+}
+
+TEST(FmcwParams, RoundTripBinIsTwiceTheResolution) {
+    FmcwParams p;
+    EXPECT_NEAR(p.round_trip_bin_m(), 2.0 * p.range_resolution_m(), 1e-9);
+}
+
+TEST(FmcwParams, SlopeMatchesBandwidthOverSweepTime) {
+    FmcwParams p;
+    EXPECT_NEAR(p.slope(), 1.69e9 / 2.5e-3, 1.0);
+}
+
+TEST(FmcwParams, BeatFrequencyFollowsEqOne) {
+    // Eq. 1: TOF = df / slope. A 10 m round trip -> TOF = 33.36 ns.
+    FmcwParams p;
+    const double tof = 10.0 / kSpeedOfLight;
+    const double beat = p.beat_frequency_hz(tof);
+    EXPECT_NEAR(beat / p.slope(), tof, 1e-15);
+}
+
+TEST(FmcwParams, MaxRoundTripExceedsPaperSpectrogramRange) {
+    // The paper's spectrograms (Fig. 3) display up to 30 m round trip; the
+    // 1 MS/s digitizer must cover that unambiguously.
+    FmcwParams p;
+    EXPECT_GT(p.max_round_trip_m(), 30.0);
+}
+
+TEST(FmcwParams, ValidateRejectsBadConfigs) {
+    FmcwParams p;
+    p.bandwidth_hz = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = FmcwParams{};
+    p.sweeps_per_frame = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = FmcwParams{};
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Units, DbRoundTrip) {
+    EXPECT_NEAR(from_db(to_db(123.456)), 123.456, 1e-9);
+    EXPECT_NEAR(to_db(100.0), 20.0, 1e-12);
+    EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-12);
+}
+
+TEST(Units, DbmWattRoundTrip) {
+    EXPECT_NEAR(watt_to_dbm(0.75e-3), -1.2494, 1e-3);  // the paper's 0.75 mW
+    EXPECT_NEAR(dbm_to_watt(watt_to_dbm(0.5)), 0.5, 1e-12);
+}
+
+TEST(Units, AngleConversions) {
+    EXPECT_NEAR(deg_to_rad(180.0), M_PI, 1e-12);
+    EXPECT_NEAR(rad_to_deg(M_PI / 2.0), 90.0, 1e-12);
+    EXPECT_NEAR(wrap_angle(3.0 * M_PI), M_PI, 1e-9);
+    EXPECT_NEAR(wrap_angle(-3.0 * M_PI), M_PI, 1e-9);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform()) ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(123);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(2.0, 1.0);
+        sum += v;
+        sum2 += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, RayleighMean) {
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.rayleigh(1.0);
+    EXPECT_NEAR(sum / n, std::sqrt(M_PI / 2.0), 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+    Rng parent(9);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    double corr = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) corr += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+    EXPECT_NEAR(corr / n, 0.0, 0.01);
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+    const char* argv[] = {"prog", "--experiments", "17", "--csv", "/tmp/x.csv", "--quick"};
+    CliArgs args(6, const_cast<char**>(argv));
+    EXPECT_EQ(args.get_int("experiments", 0), 17);
+    EXPECT_EQ(args.get("csv"), "/tmp/x.csv");
+    EXPECT_TRUE(args.quick());
+    EXPECT_FALSE(args.has("seconds"));
+    EXPECT_EQ(args.get_int("seconds", 60), 60);
+}
+
+TEST(Cli, SeedDefaultsAndOverrides) {
+    const char* argv[] = {"prog", "--seed", "1234"};
+    CliArgs args(3, const_cast<char**>(argv));
+    EXPECT_EQ(args.get_seed(), 1234u);
+    CliArgs empty(0, nullptr);
+    EXPECT_EQ(empty.get_seed(99), 99u);
+}
+
+}  // namespace
+}  // namespace witrack

@@ -1,0 +1,183 @@
+// FFT engine tests: correctness against analytic DFTs, algebraic properties
+// (linearity, Parseval), cross-checks between the radix-2 and Bluestein
+// paths, and the paper's sweep-sized transform (N = 2500).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include "dsp/fft.hpp"
+
+namespace witrack::dsp {
+namespace {
+
+std::vector<cplx> naive_dft(const std::vector<cplx>& in) {
+    const std::size_t n = in.size();
+    std::vector<cplx> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle = -2.0 * M_PI * static_cast<double>(k * t) / n;
+            acc += in[t] * cplx(std::cos(angle), std::sin(angle));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<cplx> random_signal(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> dist;
+    std::vector<cplx> v(n);
+    for (auto& x : v) x = cplx(dist(rng), dist(rng));
+    return v;
+}
+
+double max_error(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+    double err = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
+    return err;
+}
+
+TEST(Fft, RejectsZeroSize) { EXPECT_THROW(Fft(0), std::invalid_argument); }
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+    std::vector<cplx> data(64, cplx(0, 0));
+    data[0] = cplx(1, 0);
+    fft_plan(64).forward(data);
+    for (const auto& v : data) EXPECT_NEAR(std::abs(v - cplx(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+    const std::size_t n = 256;
+    const std::size_t tone = 37;
+    std::vector<cplx> data(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double angle = 2.0 * M_PI * static_cast<double>(tone * t) / n;
+        data[t] = cplx(std::cos(angle), std::sin(angle));
+    }
+    fft_plan(n).forward(data);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == tone)
+            EXPECT_NEAR(std::abs(data[k]), static_cast<double>(n), 1e-8);
+        else
+            EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-7);
+    }
+}
+
+TEST(Fft, RealInputHasConjugateSymmetry) {
+    std::vector<double> x(128);
+    std::mt19937 rng(3);
+    std::normal_distribution<double> dist;
+    for (auto& v : x) v = dist(rng);
+    const auto spec = fft_forward_real(x);
+    for (std::size_t k = 1; k < x.size(); ++k) {
+        EXPECT_NEAR(spec[k].real(), spec[x.size() - k].real(), 1e-9);
+        EXPECT_NEAR(spec[k].imag(), -spec[x.size() - k].imag(), 1e-9);
+    }
+}
+
+struct FftSizeCase {
+    std::size_t n;
+};
+
+class FftSizes : public ::testing::TestWithParam<FftSizeCase> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+    const std::size_t n = GetParam().n;
+    const auto in = random_signal(n, static_cast<unsigned>(n));
+    auto fast = in;
+    fft_plan(n).forward(fast);
+    const auto slow = naive_dft(in);
+    EXPECT_LT(max_error(fast, slow), 1e-6 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, InverseRoundTrips) {
+    const std::size_t n = GetParam().n;
+    const auto in = random_signal(n, static_cast<unsigned>(n) + 1);
+    auto data = in;
+    const Fft& plan = fft_plan(n);
+    plan.forward(data);
+    plan.inverse(data);
+    EXPECT_LT(max_error(data, in), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, ParsevalEnergyConservation) {
+    const std::size_t n = GetParam().n;
+    const auto in = random_signal(n, static_cast<unsigned>(n) + 2);
+    double time_energy = 0.0;
+    for (const auto& v : in) time_energy += std::norm(v);
+    auto spec = in;
+    fft_plan(n).forward(spec);
+    double freq_energy = 0.0;
+    for (const auto& v : spec) freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+                1e-8 * std::max(1.0, time_energy));
+}
+
+TEST_P(FftSizes, Linearity) {
+    const std::size_t n = GetParam().n;
+    const auto a = random_signal(n, 10);
+    const auto b = random_signal(n, 11);
+    const cplx ca(1.5, -0.25), cb(-2.0, 0.5);
+    std::vector<cplx> combo(n);
+    for (std::size_t i = 0; i < n; ++i) combo[i] = ca * a[i] + cb * b[i];
+    auto fa = a, fb = b;
+    const Fft& plan = fft_plan(n);
+    plan.forward(fa);
+    plan.forward(fb);
+    plan.forward(combo);
+    std::vector<cplx> expected(n);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = ca * fa[i] + cb * fb[i];
+    EXPECT_LT(max_error(combo, expected), 1e-7 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerOfTwoAndArbitrary, FftSizes,
+    ::testing::Values(FftSizeCase{2}, FftSizeCase{4}, FftSizeCase{16},
+                      FftSizeCase{64}, FftSizeCase{256}, FftSizeCase{1024},
+                      FftSizeCase{3}, FftSizeCase{5}, FftSizeCase{12},
+                      FftSizeCase{100}, FftSizeCase{625}, FftSizeCase{2500}),
+    [](const ::testing::TestParamInfo<FftSizeCase>& info) {
+        return "N" + std::to_string(info.param.n);
+    });
+
+TEST(Fft, SweepSizedTransformMatchesBluesteinDefinition) {
+    // N = 2500 is the production size (2.5 ms at 1 MS/s). Verify a known
+    // tone at a non-integer-power position.
+    const std::size_t n = 2500;
+    const std::size_t tone = 123;
+    std::vector<cplx> data(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double angle = 2.0 * M_PI * static_cast<double>(tone * t) / n;
+        data[t] = cplx(std::cos(angle), std::sin(angle));
+    }
+    fft_plan(n).forward(data);
+    EXPECT_NEAR(std::abs(data[tone]), static_cast<double>(n), 1e-5);
+    double off_peak = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+        if (k != tone) off_peak = std::max(off_peak, std::abs(data[k]));
+    EXPECT_LT(off_peak, 1e-5);
+}
+
+TEST(Fft, PlanCacheReturnsSameInstance) {
+    const Fft& a = fft_plan(512);
+    const Fft& b = fft_plan(512);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.size(), 512u);
+}
+
+TEST(Fft, ForwardRealMatchesComplexPath) {
+    std::vector<double> x(100);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::sin(0.37 * static_cast<double>(i)) + 0.2;
+    const auto via_real = fft_forward_real(x);
+    std::vector<cplx> as_complex(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) as_complex[i] = cplx(x[i], 0.0);
+    const auto via_complex = fft_forward(as_complex);
+    EXPECT_LT(max_error(via_real, via_complex), 1e-9);
+}
+
+}  // namespace
+}  // namespace witrack::dsp

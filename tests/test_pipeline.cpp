@@ -1,0 +1,378 @@
+// Core pipeline unit tests: range FFT, background subtraction (both modes),
+// contour tracking, TOF denoising, and the localizer stage -- each exercised
+// on synthetic inputs with known answers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "core/background.hpp"
+#include "core/contour.hpp"
+#include "core/denoise.hpp"
+#include "core/localize.hpp"
+#include "core/range_fft.hpp"
+#include "core/tof.hpp"
+#include "geom/array_geometry.hpp"
+#include "hw/mixer.hpp"
+
+namespace witrack::core {
+namespace {
+
+using geom::Vec3;
+
+PipelineConfig test_config() {
+    PipelineConfig config;
+    return config;
+}
+
+/// Synthesize a sweep containing one echo at the given round trip.
+std::vector<double> sweep_with_echo(const FmcwParams& fmcw, double round_trip_m,
+                                    double amplitude = 1.0) {
+    hw::DechirpMixer mixer(fmcw);
+    rf::PropagationPath path;
+    path.round_trip_m = round_trip_m;
+    path.amplitude = amplitude;
+    return mixer.synthesize({&path, 1});
+}
+
+// -------------------------------------------------------------- range FFT
+
+TEST(RangeFft, PeakAtEchoDistance) {
+    const auto config = test_config();
+    SweepProcessor processor(config.fmcw, config.window, config.fft_size);
+    const auto profile = processor.process({sweep_with_echo(config.fmcw, 12.0)});
+    std::size_t best = 1;
+    for (std::size_t k = 2; k < profile.usable_bins; ++k)
+        if (std::abs(profile.spectrum[k]) > std::abs(profile.spectrum[best])) best = k;
+    EXPECT_NEAR(profile.round_trip_of_bin(static_cast<double>(best)), 12.0,
+                profile.bin_round_trip_m);
+}
+
+TEST(RangeFft, AveragingReducesNoiseButKeepsSignal) {
+    const auto config = test_config();
+    SweepProcessor processor(config.fmcw, config.window, config.fft_size);
+    witrack::Rng rng(1);
+    auto noisy_sweep = [&] {
+        auto s = sweep_with_echo(config.fmcw, 10.0, 0.01);
+        for (auto& v : s) v += rng.gaussian(0.05);
+        return s;
+    };
+    const auto one = processor.process({noisy_sweep()});
+    const auto five = processor.process(
+        {noisy_sweep(), noisy_sweep(), noisy_sweep(), noisy_sweep(), noisy_sweep()});
+    auto peak_to_floor = [&](const RangeProfile& p) {
+        const auto bin = static_cast<std::size_t>(p.bin_of_round_trip(10.0) + 0.5);
+        double floor = 0.0;
+        std::size_t n = 0;
+        for (std::size_t k = 50; k < p.usable_bins; ++k) {
+            if (k + 30 > bin && k < bin + 30) continue;
+            floor += std::abs(p.spectrum[k]);
+            ++n;
+        }
+        return std::abs(p.spectrum[bin]) / (floor / static_cast<double>(n));
+    };
+    EXPECT_GT(peak_to_floor(five), 1.5 * peak_to_floor(one));
+}
+
+TEST(RangeFft, PaperLiteralModeUsesSweepLength) {
+    const auto config = test_config();
+    SweepProcessor processor(config.fmcw, config.window, 0);
+    const auto profile = processor.process({sweep_with_echo(config.fmcw, 8.0)});
+    EXPECT_EQ(profile.spectrum.size(), config.fmcw.samples_per_sweep());
+    EXPECT_NEAR(profile.bin_round_trip_m, config.fmcw.round_trip_bin_m(), 1e-12);
+}
+
+TEST(RangeFft, RejectsBadInput) {
+    const auto config = test_config();
+    SweepProcessor processor(config.fmcw, config.window, config.fft_size);
+    EXPECT_THROW(processor.process({}), std::invalid_argument);
+    EXPECT_THROW(processor.process({std::vector<double>(7, 0.0)}),
+                 std::invalid_argument);
+    EXPECT_THROW(SweepProcessor(config.fmcw, config.window, 64),
+                 std::invalid_argument);  // smaller than the sweep
+}
+
+// ------------------------------------------------------------- background
+
+TEST(Background, FrameDiffRemovesStaticKeepsMoving) {
+    const auto config = test_config();
+    SweepProcessor processor(config.fmcw, config.window, config.fft_size);
+    BackgroundSubtractor subtractor;
+
+    // Static reflector at 6 m in every frame; "person" moves 10 -> 10.5 m.
+    hw::DechirpMixer mixer(config.fmcw);
+    auto frame_at = [&](double person_rt) {
+        std::vector<rf::PropagationPath> paths(2);
+        paths[0].round_trip_m = 6.0;
+        paths[0].amplitude = 1.0;
+        paths[1].round_trip_m = person_rt;
+        paths[1].amplitude = 0.05;
+        return processor.process({mixer.synthesize(paths)});
+    };
+
+    EXPECT_TRUE(subtractor.subtract(frame_at(10.0)).empty());  // first frame
+    const auto diff = subtractor.subtract(frame_at(10.5));
+    ASSERT_FALSE(diff.empty());
+
+    const auto profile = frame_at(10.5);
+    const auto static_bin =
+        static_cast<std::size_t>(profile.bin_of_round_trip(6.0) + 0.5);
+    const auto person_bin =
+        static_cast<std::size_t>(profile.bin_of_round_trip(10.3) + 0.5);
+    // The moving echo's differenced energy dwarfs the static residue.
+    double person_peak = 0.0, static_peak = 0.0;
+    for (std::size_t k = person_bin - 8; k < person_bin + 8; ++k)
+        person_peak = std::max(person_peak, diff[k]);
+    for (std::size_t k = static_bin - 4; k < static_bin + 4; ++k)
+        static_peak = std::max(static_peak, diff[k]);
+    EXPECT_GT(person_peak, 50.0 * static_peak);
+}
+
+TEST(Background, StaticTrainingKeepsStaticPerson) {
+    const auto config = test_config();
+    SweepProcessor processor(config.fmcw, config.window, config.fft_size);
+    BackgroundSubtractor subtractor(BackgroundMode::kStaticTraining);
+
+    hw::DechirpMixer mixer(config.fmcw);
+    auto scene_profile = [&](bool with_person) {
+        std::vector<rf::PropagationPath> paths;
+        rf::PropagationPath clutter;
+        clutter.round_trip_m = 6.0;
+        clutter.amplitude = 1.0;
+        paths.push_back(clutter);
+        if (with_person) {
+            rf::PropagationPath person;
+            person.round_trip_m = 11.0;
+            person.amplitude = 0.05;
+            paths.push_back(person);
+        }
+        return processor.process({mixer.synthesize(paths)});
+    };
+
+    for (int i = 0; i < 10; ++i) subtractor.train(scene_profile(false));
+    const auto diff = subtractor.subtract(scene_profile(true));
+    ASSERT_FALSE(diff.empty());
+    const auto profile = scene_profile(true);
+    const auto person_bin =
+        static_cast<std::size_t>(profile.bin_of_round_trip(11.0) + 0.5);
+    const auto clutter_bin =
+        static_cast<std::size_t>(profile.bin_of_round_trip(6.0) + 0.5);
+    // The *static* person survives (frame differencing would erase him).
+    EXPECT_GT(diff[person_bin], 20.0 * diff[clutter_bin]);
+}
+
+TEST(Background, TrainRequiresTrainingMode) {
+    BackgroundSubtractor subtractor(BackgroundMode::kFrameDiff);
+    RangeProfile profile;
+    profile.spectrum.resize(64);
+    profile.usable_bins = 32;
+    EXPECT_THROW(subtractor.train(profile), std::logic_error);
+}
+
+// ---------------------------------------------------------------- contour
+
+std::vector<double> flat_profile(std::size_t bins, double floor) {
+    return std::vector<double>(bins, floor);
+}
+
+TEST(Contour, PicksClosestStrongPeakNotStrongest) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    const double bin_m = 0.108;
+    // Multipath at bin 180 is stronger; direct path at bin 120 is closer.
+    mag[120] = 8.0;
+    mag[180] = 20.0;
+    const auto point = tracker.extract(mag, bin_m);
+    ASSERT_TRUE(point.detected);
+    EXPECT_NEAR(point.round_trip_m, 120 * bin_m, bin_m);
+    const auto strongest = tracker.extract_strongest(mag, bin_m);
+    EXPECT_NEAR(strongest.round_trip_m, 180 * bin_m, bin_m);
+}
+
+TEST(Contour, IgnoresSubThresholdBumps) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[90] = 3.0;   // below 5x floor
+    mag[200] = 9.0;  // above
+    const auto point = tracker.extract(mag, 0.108);
+    ASSERT_TRUE(point.detected);
+    EXPECT_NEAR(point.round_trip_m, 200 * 0.108, 0.2);
+}
+
+TEST(Contour, NoDetectionOnNoise) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    witrack::Rng rng(2);
+    auto mag = flat_profile(2048, 0.0);
+    for (auto& v : mag) v = std::abs(rng.gaussian(1.0));
+    const auto point = tracker.extract(mag, 0.108);
+    EXPECT_FALSE(point.detected);
+}
+
+TEST(Contour, RespectsRangeWindow) {
+    auto config = test_config();
+    config.min_round_trip_m = 5.0;
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[10] = 100.0;  // inside the excluded leakage region (1.08 m)
+    mag[100] = 10.0;  // 10.8 m: valid
+    const auto point = tracker.extract(mag, 0.108);
+    ASSERT_TRUE(point.detected);
+    EXPECT_NEAR(point.round_trip_m, 100 * 0.108, 0.2);
+}
+
+TEST(Contour, MultiPeakReturnsClosestFirst) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[100] = 9.0;
+    mag[150] = 12.0;
+    mag[220] = 10.0;
+    const auto peaks = tracker.extract_peaks(mag, 0.108, 3);
+    ASSERT_EQ(peaks.size(), 3u);
+    EXPECT_LT(peaks[0].round_trip_m, peaks[1].round_trip_m);
+    EXPECT_LT(peaks[1].round_trip_m, peaks[2].round_trip_m);
+}
+
+TEST(Contour, ExtentSeparatesArmFromBody) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    const double bin_m = 0.108;
+    // Arm: one narrow blob. Body: energy spread over ~2 m of bins.
+    auto arm = flat_profile(2048, 1.0);
+    for (int k = 118; k <= 122; ++k) arm[k] = 10.0;
+    auto body = flat_profile(2048, 1.0);
+    for (int k = 100; k <= 140; ++k) body[k] = 10.0;
+    const auto arm_point = tracker.extract(arm, bin_m);
+    const auto body_point = tracker.extract(body, bin_m);
+    ASSERT_TRUE(arm_point.detected);
+    ASSERT_TRUE(body_point.detected);
+    EXPECT_LT(arm_point.extent_m, 0.5 * body_point.extent_m);
+}
+
+TEST(Contour, GatedSearchFindsWeakEchoNearPrediction) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[150] = 3.0;  // below the global threshold (5x floor)
+    const auto global = tracker.extract(mag, 0.108);
+    EXPECT_FALSE(global.detected);
+    const auto gated = tracker.extract_near(mag, 0.108, 150 * 0.108, 0.7, 0.5);
+    ASSERT_TRUE(gated.detected);
+    EXPECT_NEAR(gated.round_trip_m, 150 * 0.108, 0.2);
+}
+
+// ---------------------------------------------------------------- denoise
+
+ContourPoint detection(double round_trip) {
+    ContourPoint p;
+    p.detected = true;
+    p.round_trip_m = round_trip;
+    p.power = 10.0;
+    p.noise_floor = 1.0;
+    return p;
+}
+
+TEST(Denoise, HoldsThroughSilence) {
+    const auto config = test_config();
+    TofDenoiser denoiser(config);
+    denoiser.update(detection(8.0), 0.0125);
+    // Person stops: no detections for a while (interpolation, Section 4.4).
+    for (int i = 0; i < 100; ++i) {
+        const auto value = denoiser.update(ContourPoint{}, 0.0125);
+        ASSERT_TRUE(value.has_value());
+        EXPECT_NEAR(*value, 8.0, 0.2);
+    }
+}
+
+TEST(Denoise, RejectsImpossibleJump) {
+    const auto config = test_config();
+    TofDenoiser denoiser(config);
+    denoiser.update(detection(8.0), 0.0125);
+    const auto value = denoiser.update(detection(14.0), 0.0125);  // 6 m jump
+    ASSERT_TRUE(value.has_value());
+    EXPECT_NEAR(*value, 8.0, 0.2);
+    EXPECT_EQ(denoiser.outlier_streak(), 1u);
+}
+
+TEST(Denoise, ReacquiresAfterPersistentJump) {
+    const auto config = test_config();
+    TofDenoiser denoiser(config);
+    denoiser.update(detection(8.0), 0.0125);
+    std::optional<double> value;
+    for (std::size_t i = 0; i <= config.reacquire_frames; ++i)
+        value = denoiser.update(detection(14.0), 0.0125);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_NEAR(*value, 14.0, 0.3);
+}
+
+TEST(Denoise, SmoothsJitter) {
+    const auto config = test_config();
+    TofDenoiser denoiser(config);
+    witrack::Rng rng(3);
+    double max_dev = 0.0;
+    for (int i = 0; i < 400; ++i) {
+        const auto v = denoiser.update(detection(10.0 + rng.gaussian(0.15)), 0.0125);
+        if (i > 50) max_dev = std::max(max_dev, std::abs(*v - 10.0));
+    }
+    EXPECT_LT(max_dev, 0.15);  // filtered excursions stay below raw sigma
+}
+
+TEST(Denoise, TracksWalkingSpeedRamp) {
+    const auto config = test_config();
+    TofDenoiser denoiser(config);
+    double rt = 6.0;
+    std::optional<double> value;
+    for (int i = 0; i < 400; ++i) {
+        rt += 2.0 * 1.0 * 0.0125;  // walking away at 1 m/s (round trip 2x)
+        value = denoiser.update(detection(rt), 0.0125);
+    }
+    ASSERT_TRUE(value.has_value());
+    EXPECT_NEAR(*value, rt, 0.1);
+}
+
+// --------------------------------------------------------------- localize
+
+TEST(Localize, CompensatesSurfaceDepth) {
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    auto config = test_config();
+    config.surface_depth_m = 0.11;
+    Localizer localizer(array, config);
+
+    // Round trips to the body *surface*; the centre is 11 cm deeper.
+    const Vec3 surface{0.0, 5.0, 1.0};
+    std::vector<double> rts;
+    for (const auto& rx : array.rx)
+        rts.push_back(surface.distance_to(array.tx) + surface.distance_to(rx));
+    const auto point = localizer.locate_round_trips(rts, 0.0, true);
+    ASSERT_TRUE(point.has_value());
+    EXPECT_NEAR(point->position.y, 5.11, 0.02);
+
+    const auto raw = localizer.locate_round_trips(rts, 0.0, false);
+    EXPECT_NEAR(raw->position.y, 5.0, 0.01);
+}
+
+TEST(Localize, RequiresAllAntennas) {
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    Localizer localizer(array, test_config());
+    TofFrame frame;
+    frame.antennas.resize(3);
+    frame.antennas[0].denoised_m = 10.0;
+    frame.antennas[1].denoised_m = 10.1;
+    // antenna 2 missing
+    EXPECT_FALSE(localizer.locate(frame).has_value());
+}
+
+TEST(Localize, ClampsElevationToPhysicalBand) {
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    Localizer localizer(array, test_config());
+    // Inconsistent distances drive z far negative; the clamp keeps it sane.
+    const auto point = localizer.locate_round_trips({9.0, 9.0, 10.8}, 0.0, false);
+    ASSERT_TRUE(point.has_value());
+    EXPECT_GE(point->position.z, 0.0);
+}
+
+}  // namespace
+}  // namespace witrack::core

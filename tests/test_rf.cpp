@@ -1,0 +1,303 @@
+// RF substrate tests: antenna patterns, materials, walls (crossing /
+// mirroring / specular points), RCS fluctuation models, noise, and the
+// image-method channel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "rf/antenna.hpp"
+#include "rf/channel.hpp"
+#include "rf/material.hpp"
+#include "rf/noise.hpp"
+#include "rf/rcs.hpp"
+#include "rf/scene.hpp"
+#include "rf/wall.hpp"
+
+namespace witrack::rf {
+namespace {
+
+using geom::Vec3;
+
+// ---------------------------------------------------------------- antenna
+
+TEST(AntennaTest, PeakOnBoresight) {
+    AntennaPattern p;
+    EXPECT_NEAR(p.gain(0.0), from_db(p.peak_gain_dbi), 1e-9);
+    EXPECT_LT(p.gain(0.3), p.gain(0.0));
+}
+
+TEST(AntennaTest, HalfPowerAtHalfBeamwidth) {
+    AntennaPattern p;
+    const double half = deg_to_rad(p.half_power_beamwidth_deg) / 2.0;
+    EXPECT_NEAR(p.gain(half) / p.gain(0.0), 0.5, 1e-9);
+}
+
+TEST(AntennaTest, BackLobeFloor) {
+    AntennaPattern p;
+    const double back = p.gain(M_PI);
+    EXPECT_NEAR(back / p.gain(0.0), from_db(-p.front_back_ratio_db), 1e-9);
+}
+
+TEST(AntennaTest, GainTowardUsesGeometry) {
+    Antenna a{{0, 0, 0}, {0, 1, 0}, {}};
+    EXPECT_GT(a.gain_toward({0, 5, 0}), a.gain_toward({5, 5, 0}));
+    EXPECT_GT(a.gain_toward({5, 5, 0}), a.gain_toward({0, -5, 0}));
+}
+
+// --------------------------------------------------------------- material
+
+TEST(MaterialTest, PresetsHaveSensibleOrdering) {
+    EXPECT_GT(materials::concrete().traversal_loss_db,
+              materials::sheetrock().traversal_loss_db);
+    EXPECT_GT(materials::sheetrock().traversal_loss_db,
+              materials::glass().traversal_loss_db);
+}
+
+// ------------------------------------------------------------------- wall
+
+Wall front_wall() {
+    // Wall in the xz plane at y = 2, spanning x in [-4, 4], z in [0, 3].
+    return Wall({0, 2, 1.5}, {0, 1, 0}, {1, 0, 0}, 4.0, 1.5,
+                materials::sheetrock());
+}
+
+TEST(WallTest, SegmentCrossing) {
+    const Wall w = front_wall();
+    EXPECT_TRUE(w.segment_crosses({0, 0, 1}, {0, 5, 1}));
+    EXPECT_FALSE(w.segment_crosses({0, 3, 1}, {0, 5, 1}));   // same side
+    EXPECT_FALSE(w.segment_crosses({10, 0, 1}, {10, 5, 1})); // misses panel
+    EXPECT_FALSE(w.segment_crosses({0, 0, 1}, {0, 1.99, 1}));// stops short
+}
+
+TEST(WallTest, MirrorReflectsAcrossPlane) {
+    const Wall w = front_wall();
+    const Vec3 m = w.mirror({0, 0.5, 1});
+    EXPECT_NEAR(m.y, 3.5, 1e-12);
+    EXPECT_NEAR(m.x, 0.0, 1e-12);
+    // Mirroring twice returns the original point.
+    const Vec3 mm = w.mirror(m);
+    EXPECT_NEAR(mm.y, 0.5, 1e-12);
+}
+
+TEST(WallTest, SpecularPointForSameSideBounce) {
+    const Wall w = front_wall();
+    const auto hit = w.specular_point({-1, 0, 1}, {1, 0, 1});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->y, 2.0, 1e-9);          // on the wall plane
+    EXPECT_NEAR(hit->x, 0.0, 1e-9);          // symmetric bounce
+    // Opposite sides: traversal, not a bounce.
+    EXPECT_FALSE(w.specular_point({0, 0, 1}, {0, 5, 1}).has_value());
+}
+
+TEST(WallTest, SpecularPointRespectsPanelExtent) {
+    const Wall w = front_wall();
+    // Bounce geometry lands at x = 6, outside the +-4 panel.
+    EXPECT_FALSE(w.specular_point({5, 1, 1}, {7, 1, 1}).has_value());
+}
+
+TEST(WallTest, SpecularPathLengthEqualsImagePath) {
+    // |a - bounce| + |bounce - b| must equal |a - mirror(b)|.
+    const Wall w = front_wall();
+    const Vec3 a{-1.5, 0.5, 1.0}, b{2.0, 1.0, 1.2};
+    const auto hit = w.specular_point(a, b);
+    ASSERT_TRUE(hit.has_value());
+    const double via_bounce = (a - *hit).norm() + (*hit - b).norm();
+    const double via_image = (a - w.mirror(b)).norm();
+    EXPECT_NEAR(via_bounce, via_image, 1e-9);
+}
+
+// -------------------------------------------------------------------- rcs
+
+TEST(RcsTest, SwerlingMeansConverge) {
+    Rng rng(3);
+    for (auto model : {rcs::torso(), rcs::arm()}) {
+        double acc = 0.0;
+        const int n = 200000;
+        for (int i = 0; i < n; ++i) acc += model.sample(rng);
+        EXPECT_NEAR(acc / n, model.mean_rcs_m2, 0.02 * model.mean_rcs_m2);
+    }
+}
+
+TEST(RcsTest, SwerlingIiiFluctuatesLessThanI) {
+    Rng rng(4);
+    RcsModel s1{1.0, Fluctuation::kSwerlingI};
+    RcsModel s3{1.0, Fluctuation::kSwerlingIII};
+    double var1 = 0.0, var3 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double a = s1.sample(rng) - 1.0;
+        const double b = s3.sample(rng) - 1.0;
+        var1 += a * a;
+        var3 += b * b;
+    }
+    EXPECT_LT(var3, var1 * 0.7);  // chi^2_4 variance is half of exponential
+}
+
+TEST(RcsTest, SteadyIsDeterministic) {
+    Rng rng(5);
+    const auto model = rcs::reference(2.5);
+    EXPECT_DOUBLE_EQ(model.sample(rng), 2.5);
+    EXPECT_DOUBLE_EQ(model.sample(rng), 2.5);
+}
+
+TEST(RcsTest, ArmSmallerThanTorso) {
+    // Section 6.1 relies on this ordering.
+    EXPECT_LT(rcs::arm().mean_rcs_m2, rcs::torso().mean_rcs_m2 / 4.0);
+}
+
+// ------------------------------------------------------------------ noise
+
+TEST(NoiseTest, StddevScalesWithNoiseFigure) {
+    NoiseModel quiet{20.0}, loud{40.0};
+    EXPECT_NEAR(loud.sample_stddev(1e6) / quiet.sample_stddev(1e6), 10.0, 1e-9);
+}
+
+TEST(NoiseTest, SamplesMatchConfiguredStddev) {
+    NoiseModel model{30.0};
+    Rng rng(6);
+    const double sigma = model.sample_stddev(1e6);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = model.sample(rng, 1e6);
+        acc += v * v;
+    }
+    EXPECT_NEAR(std::sqrt(acc / n), sigma, 0.02 * sigma);
+}
+
+// ---------------------------------------------------------------- channel
+
+Channel make_test_channel(Scene scene, double coupling_db = -50.0) {
+    ChannelConfig config;
+    config.tx_rx_coupling_db = coupling_db;
+    Antenna tx{{0, 0, 1.3}, {0, 1, 0}, {}};
+    std::vector<Antenna> rx = {
+        Antenna{{-1, 0, 1.3}, {0, 1, 0}, {}},
+        Antenna{{1, 0, 1.3}, {0, 1, 0}, {}},
+        Antenna{{0, 0, 0.3}, {0, 1, 0}, {}},
+    };
+    return Channel(config, tx, rx, std::move(scene));
+}
+
+TEST(ChannelTest, LeakagePathAlwaysPresent) {
+    const auto channel = make_test_channel(Scene{});
+    const auto paths = channel.static_paths(0);
+    ASSERT_FALSE(paths.empty());
+    EXPECT_EQ(paths.front().kind, PathKind::kTxLeakage);
+    EXPECT_NEAR(paths.front().round_trip_m, 1.0, 1e-9);  // Tx-Rx separation
+}
+
+TEST(ChannelTest, BodyPathLengthIsExactGeometry) {
+    const auto channel = make_test_channel(Scene{});
+    const BodyScatterer s{{0.5, 5.0, 1.0}, 0.8, 0.0};
+    const auto paths = channel.body_paths(1, {&s, 1});
+    ASSERT_FALSE(paths.empty());
+    const double expected = Vec3{0.5, 5, 1}.distance_to({0, 0, 1.3}) +
+                            Vec3{0.5, 5, 1}.distance_to({1, 0, 1.3});
+    EXPECT_NEAR(paths.front().round_trip_m, expected, 1e-9);
+    EXPECT_EQ(paths.front().kind, PathKind::kBodyDirect);
+}
+
+TEST(ChannelTest, AmplitudeFollowsInverseSquareLegs) {
+    const auto channel = make_test_channel(Scene{});
+    // Doubling both legs costs 4x amplitude (d_t^2 d_r^2 inside sqrt).
+    const double a1 = channel.bistatic_amplitude(3.0, 3.0, 1.0, 1.0, 1.0);
+    const double a2 = channel.bistatic_amplitude(6.0, 6.0, 1.0, 1.0, 1.0);
+    EXPECT_NEAR(a1 / a2, 4.0, 1e-9);
+}
+
+TEST(ChannelTest, WallTraversalAttenuates) {
+    Scene scene;
+    scene.walls.emplace_back(Vec3{0, 2, 1.5}, Vec3{0, 1, 0}, Vec3{1, 0, 0}, 4.0,
+                             1.5, materials::sheetrock());
+    const auto with_wall = make_test_channel(scene);
+    const auto without = make_test_channel(Scene{});
+    const BodyScatterer s{{0.0, 5.0, 1.0}, 0.8, 0.0};
+    const auto p_wall = with_wall.body_paths(0, {&s, 1});
+    const auto p_free = without.body_paths(0, {&s, 1});
+    ASSERT_FALSE(p_wall.empty());
+    ASSERT_FALSE(p_free.empty());
+    // Two traversals (out and back) at 5 dB each = 10 dB power = ~3.16x amp.
+    EXPECT_NEAR(p_free.front().amplitude / p_wall.front().amplitude,
+                db_to_amplitude(10.0), 0.05 * db_to_amplitude(10.0));
+}
+
+TEST(ChannelTest, TraversalGainCountsWalls) {
+    Scene scene;
+    scene.walls.emplace_back(Vec3{0, 2, 1.5}, Vec3{0, 1, 0}, Vec3{1, 0, 0}, 4.0,
+                             1.5, materials::sheetrock());
+    scene.walls.emplace_back(Vec3{0, 4, 1.5}, Vec3{0, 1, 0}, Vec3{1, 0, 0}, 4.0,
+                             1.5, materials::sheetrock());
+    const auto channel = make_test_channel(scene);
+    const double one = channel.traversal_gain({0, 0, 1}, {0, 3, 1});
+    const double two = channel.traversal_gain({0, 0, 1}, {0, 5, 1});
+    EXPECT_NEAR(one, from_db(-5.0), 1e-9);
+    EXPECT_NEAR(two, from_db(-10.0), 1e-9);
+}
+
+TEST(ChannelTest, SideWallCreatesDynamicMultipath) {
+    Scene scene;
+    scene.walls.emplace_back(Vec3{-4, 5, 1.5}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 5.0,
+                             1.5, materials::sheetrock());
+    const auto channel = make_test_channel(scene);
+    const BodyScatterer s{{0.0, 5.0, 1.0}, 0.8, 0.0};
+    const auto paths = channel.body_paths(0, {&s, 1});
+    bool has_multipath = false;
+    for (const auto& p : paths)
+        if (p.kind == PathKind::kBodyMultipath) {
+            has_multipath = true;
+            // Dynamic multipath is always longer than the direct path
+            // (Section 4.3's key invariant).
+            EXPECT_GT(p.round_trip_m, paths.front().round_trip_m);
+        }
+    EXPECT_TRUE(has_multipath);
+}
+
+TEST(ChannelTest, MultipathCanBeDisabled) {
+    Scene scene;
+    scene.walls.emplace_back(Vec3{-4, 5, 1.5}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 5.0,
+                             1.5, materials::sheetrock());
+    ChannelConfig config;
+    config.enable_dynamic_multipath = false;
+    Antenna tx{{0, 0, 1.3}, {0, 1, 0}, {}};
+    std::vector<Antenna> rx = {Antenna{{-1, 0, 1.3}, {0, 1, 0}, {}}};
+    Channel channel(config, tx, rx, scene);
+    const BodyScatterer s{{0.0, 5.0, 1.0}, 0.8, 0.0};
+    for (const auto& p : channel.body_paths(0, {&s, 1}))
+        EXPECT_NE(p.kind, PathKind::kBodyMultipath);
+}
+
+TEST(ChannelTest, StaticClutterStrongerThanBody) {
+    // The flash effect (Section 4.2): near static reflectors dominate the
+    // far body echo.
+    Scene scene;
+    scene.clutter.push_back({{0.5, 2.0, 1.0}, 1.5});
+    const auto channel = make_test_channel(scene);
+    const BodyScatterer s{{0.0, 6.0, 1.0}, 0.8, 0.0};
+    const auto statics = channel.static_paths(0);
+    const auto body = channel.body_paths(0, {&s, 1});
+    double max_static = 0.0;
+    for (const auto& p : statics)
+        if (p.kind == PathKind::kStaticClutter)
+            max_static = std::max(max_static, p.amplitude);
+    ASSERT_FALSE(body.empty());
+    EXPECT_GT(max_static, body.front().amplitude);
+}
+
+TEST(ChannelTest, PrunesNegligiblePaths) {
+    ChannelConfig config;
+    config.prune_relative_amplitude = 0.5;  // aggressive pruning for the test
+    Antenna tx{{0, 0, 1.3}, {0, 1, 0}, {}};
+    std::vector<Antenna> rx = {Antenna{{-1, 0, 1.3}, {0, 1, 0}, {}}};
+    Channel channel(config, tx, rx, Scene{});
+    const BodyScatterer strong{{0.0, 3.0, 1.0}, 0.8, 0.0};
+    const BodyScatterer weak{{0.0, 9.0, 1.0}, 0.01, 0.0};
+    const std::vector<BodyScatterer> body{strong, weak};
+    const auto paths = channel.body_paths(0, body);
+    EXPECT_EQ(paths.size(), 1u);  // weak scatterer pruned
+}
+
+}  // namespace
+}  // namespace witrack::rf

@@ -1,0 +1,296 @@
+// Simulation layer tests: environments, the articulated human model, the
+// motion scripts (walk / sit / fall / point), and the scenario engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sim/environment.hpp"
+#include "sim/human.hpp"
+#include "sim/motion.hpp"
+#include "sim/scenario.hpp"
+
+namespace witrack::sim {
+namespace {
+
+using geom::Vec3;
+
+// ------------------------------------------------------------ environment
+
+TEST(EnvironmentTest, ThroughWallHasFrontWall) {
+    const auto tw = make_through_wall_lab();
+    const auto los = make_line_of_sight_lab();
+    EXPECT_EQ(tw.scene.walls.size(), los.scene.walls.size() + 1);
+    // The front wall must separate the device (y=0) from the room.
+    bool found = false;
+    for (const auto& wall : tw.scene.walls)
+        if (wall.segment_crosses({0, 0, 1.3}, {0, 5, 1.0})) found = true;
+    EXPECT_TRUE(found);
+    for (const auto& wall : los.scene.walls)
+        EXPECT_FALSE(wall.segment_crosses({0, 0, 1.3}, {0, 5, 1.0}));
+}
+
+TEST(EnvironmentTest, BoundsInsideRoom) {
+    const auto env = make_through_wall_lab();
+    EXPECT_GT(env.bounds.y_min, 0.3);   // behind the front wall
+    EXPECT_LT(env.bounds.y_max, 10.3);  // before the back wall
+    EXPECT_LT(env.bounds.x_min, env.bounds.x_max);
+}
+
+TEST(EnvironmentTest, FurnitureToggle) {
+    RoomSpec spec;
+    spec.add_furniture = false;
+    EXPECT_TRUE(make_lab_environment(spec).scene.clutter.empty());
+    spec.add_furniture = true;
+    EXPECT_FALSE(make_lab_environment(spec).scene.clutter.empty());
+}
+
+// ------------------------------------------------------------------ human
+
+TEST(HumanTest, ScattererCountAndFloors) {
+    HumanModel human(HumanParams{}, Rng(1));
+    Pose pose;
+    pose.center = {0, 5, 1.0};
+    pose.speed_mps = 1.0;
+    const auto parts = human.update(pose, 0.0125, {0, 0, 1.3});
+    EXPECT_EQ(parts.size(), 6u);  // torso, head, 2 arms, 2 legs
+    for (const auto& p : parts) {
+        EXPECT_GE(p.position.z, 0.05);
+        EXPECT_GT(p.rcs_m2, 0.0);
+    }
+}
+
+TEST(HumanTest, HandAddsScatterers) {
+    HumanModel human(HumanParams{}, Rng(2));
+    Pose pose;
+    pose.center = {0, 5, 1.0};
+    pose.hand = Vec3{0.4, 4.6, 1.4};
+    const auto parts = human.update(pose, 0.0125, {0, 0, 1.3});
+    EXPECT_EQ(parts.size(), 8u);  // + hand and forearm
+}
+
+TEST(HumanTest, TorsoSurfaceFacesDevice) {
+    HumanParams params;
+    params.gait_wander_m = 0.0;
+    params.vertical_wander_m = 0.0;
+    HumanModel human(params, Rng(3));
+    Pose pose;
+    pose.center = {0, 5, 1.0};
+    pose.speed_mps = 0.0;
+    pose.body_static = true;
+    const auto parts = human.update(pose, 0.0125, {0, 0, 1.3});
+    // Torso (first scatterer) must be closer to the device than the centre.
+    const double torso_range = parts[0].position.distance_to({0, 0, 1.3});
+    const double center_range = pose.center.distance_to({0, 0, 1.3});
+    EXPECT_LT(torso_range, center_range);
+    EXPECT_NEAR(center_range - torso_range, params.torso_half_depth_m, 0.03);
+}
+
+TEST(HumanTest, StaticBodyProducesIdenticalScatterers) {
+    // A frozen body must yield bit-identical constellations so background
+    // subtraction can cancel it (paper Section 10: a static person is
+    // removed together with the static clutter).
+    HumanModel human(HumanParams{}, Rng(4));
+    Pose pose;
+    pose.center = {1, 6, 1.0};
+    pose.body_static = true;
+    const auto a = human.update(pose, 0.0125, {0, 0, 1.3});
+    const auto b = human.update(pose, 0.0125, {0, 0, 1.3});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].position.x, b[i].position.x);
+        EXPECT_DOUBLE_EQ(a[i].rcs_m2, b[i].rcs_m2);
+        EXPECT_DOUBLE_EQ(a[i].phase_rad, b[i].phase_rad);
+    }
+}
+
+TEST(HumanTest, WalkingBodyFluctuates) {
+    HumanModel human(HumanParams{}, Rng(5));
+    Pose pose;
+    pose.center = {1, 6, 1.0};
+    pose.speed_mps = 1.2;
+    const auto a = human.update(pose, 0.0125, {0, 0, 1.3});
+    pose.center = {1.015, 6, 1.0};
+    const auto b = human.update(pose, 0.0125, {0, 0, 1.3});
+    bool rcs_changed = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].rcs_m2 != b[i].rcs_m2) rcs_changed = true;
+    EXPECT_TRUE(rcs_changed);
+}
+
+// ----------------------------------------------------------------- motion
+
+TEST(MotionTest, SmoothstepEndpoints) {
+    EXPECT_DOUBLE_EQ(smoothstep01(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(smoothstep01(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(smoothstep01(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(smoothstep01(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(smoothstep01(2.0), 1.0);
+}
+
+TEST(MotionTest, RandomWaypointStaysInBounds) {
+    MotionBounds bounds{-2, 2, 3, 7};
+    RandomWaypointWalk walk(bounds, 30.0, Rng(6));
+    for (double t = 0.0; t < 30.0; t += 0.25) {
+        const Pose pose = walk.pose_at(t);
+        EXPECT_GE(pose.center.x, bounds.x_min - 1e-9);
+        EXPECT_LE(pose.center.x, bounds.x_max + 1e-9);
+        EXPECT_GE(pose.center.y, bounds.y_min - 1e-9);
+        EXPECT_LE(pose.center.y, bounds.y_max + 1e-9);
+        EXPECT_LE(pose.speed_mps, 1.31);
+    }
+}
+
+TEST(MotionTest, RandomWaypointIsDeterministic) {
+    MotionBounds bounds{-2, 2, 3, 7};
+    RandomWaypointWalk a(bounds, 20.0, Rng(7));
+    RandomWaypointWalk b(bounds, 20.0, Rng(7));
+    for (double t = 0.0; t < 20.0; t += 1.0)
+        EXPECT_DOUBLE_EQ(a.pose_at(t).center.x, b.pose_at(t).center.x);
+}
+
+struct ActivityCase {
+    ActivityKind kind;
+    double max_final_z;
+    double min_final_z;
+};
+
+class ActivityScripts : public ::testing::TestWithParam<ActivityCase> {};
+
+TEST_P(ActivityScripts, FinalElevationInExpectedBand) {
+    MotionBounds bounds{-2, 2, 3, 7};
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        ActivityScript script(GetParam().kind, bounds, Rng(seed), 30.0);
+        const Pose final_pose = script.pose_at(29.9);
+        EXPECT_GE(final_pose.center.z, GetParam().min_final_z);
+        EXPECT_LE(final_pose.center.z, GetParam().max_final_z);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllActivities, ActivityScripts,
+    ::testing::Values(ActivityCase{ActivityKind::kWalk, 1.2, 0.8},
+                      ActivityCase{ActivityKind::kSitChair, 0.72, 0.55},
+                      ActivityCase{ActivityKind::kSitFloor, 0.38, 0.24},
+                      ActivityCase{ActivityKind::kFall, 0.20, 0.06}),
+    [](const ::testing::TestParamInfo<ActivityCase>& info) {
+        switch (info.param.kind) {
+            case ActivityKind::kWalk: return std::string("Walk");
+            case ActivityKind::kSitChair: return std::string("SitChair");
+            case ActivityKind::kSitFloor: return std::string("SitFloor");
+            case ActivityKind::kFall: return std::string("Fall");
+        }
+        return std::string("Unknown");
+    });
+
+TEST(MotionTest, FallsAreFasterThanFloorSits) {
+    MotionBounds bounds{-2, 2, 3, 7};
+    double fall_mean = 0.0, sit_mean = 0.0;
+    const int n = 40;
+    for (int i = 0; i < n; ++i) {
+        fall_mean += ActivityScript(ActivityKind::kFall, bounds, Rng(i), 30.0)
+                         .transition_duration_s();
+        sit_mean += ActivityScript(ActivityKind::kSitFloor, bounds, Rng(100 + i), 30.0)
+                        .transition_duration_s();
+    }
+    EXPECT_LT(fall_mean / n, 0.7 * sit_mean / n);
+}
+
+TEST(MotionTest, PointingGestureTimeline) {
+    PointingScript script({0.5, 5.0, 0}, {0.3, 0.8, 0.1}, Rng(8));
+    // Still before the raise.
+    const Pose before = script.pose_at(0.5);
+    ASSERT_TRUE(before.hand.has_value());
+    const Pose after = script.pose_at(script.duration_s() - 0.2);
+    // Hand returns to rest at the end.
+    EXPECT_NEAR(before.hand->distance_to(*after.hand), 0.0, 1e-9);
+    // Extended mid-gesture: hand moves toward the pointing direction.
+    const Pose mid = script.pose_at(script.raise_start_s() + 1.3);
+    EXPECT_GT(mid.hand->distance_to(*before.hand), 0.4);
+    EXPECT_TRUE(mid.body_static);
+}
+
+TEST(MotionTest, PointingDirectionIsUnit) {
+    PointingScript script({0, 5, 0}, {2, 1, 0.5}, Rng(9));
+    EXPECT_NEAR(script.true_direction().norm(), 1.0, 1e-12);
+}
+
+TEST(MotionTest, LineWalkInterpolates) {
+    LineWalkScript script({0, 3, 0}, {0, 7, 0}, 4.0, 1.0);
+    EXPECT_NEAR(script.pose_at(2.0).center.y, 5.0, 1e-9);
+    EXPECT_NEAR(script.pose_at(2.0).speed_mps, 1.0, 1e-9);
+    EXPECT_NEAR(script.pose_at(99.0).center.y, 7.0, 1e-9);  // clamped
+}
+
+// --------------------------------------------------------------- scenario
+
+TEST(ScenarioTest, ProducesExpectedFrameLayout) {
+    ScenarioConfig config;
+    config.seed = 11;
+    Scenario scenario(config,
+                      std::make_unique<StandStillScript>(Vec3{0, 5, 0}, 0.2));
+    Scenario::Frame frame;
+    ASSERT_TRUE(scenario.next(frame));
+    EXPECT_EQ(frame.sweeps.size(), config.fmcw.sweeps_per_frame);
+    EXPECT_EQ(frame.sweeps[0].size(), 3u);  // T array: 3 Rx
+    EXPECT_EQ(frame.sweeps[0][0].size(), config.fmcw.samples_per_sweep());
+}
+
+TEST(ScenarioTest, FastCaptureEmitsSingleSweep) {
+    ScenarioConfig config;
+    config.fast_capture = true;
+    Scenario scenario(config,
+                      std::make_unique<StandStillScript>(Vec3{0, 5, 0}, 0.2));
+    Scenario::Frame frame;
+    ASSERT_TRUE(scenario.next(frame));
+    EXPECT_EQ(frame.sweeps.size(), 1u);
+}
+
+TEST(ScenarioTest, EndsWithScript) {
+    ScenarioConfig config;
+    Scenario scenario(config,
+                      std::make_unique<StandStillScript>(Vec3{0, 5, 0}, 0.1));
+    Scenario::Frame frame;
+    std::size_t frames = 0;
+    while (scenario.next(frame)) ++frames;
+    EXPECT_EQ(frames, 8u);  // 0.1 s / 12.5 ms
+}
+
+TEST(ScenarioTest, SecondPersonAppearsInTruth) {
+    ScenarioConfig config;
+    config.second_person = true;
+    Scenario scenario(
+        config, std::make_unique<StandStillScript>(Vec3{-1, 4, 0}, 0.2),
+        std::make_unique<StandStillScript>(Vec3{1.5, 6, 0}, 0.2));
+    Scenario::Frame frame;
+    ASSERT_TRUE(scenario.next(frame));
+    ASSERT_TRUE(frame.pose2.has_value());
+    EXPECT_NEAR(frame.pose2->center.x, 1.5, 1e-9);
+}
+
+TEST(ScenarioTest, PllResidualIsSmall) {
+    const auto residual = simulate_pll_residual(FmcwParams{});
+    // The linearized sweep's ripple must be far below one FFT bin's worth
+    // of frequency error over typical delays, or ranging would smear.
+    EXPECT_LT(residual.ripple_amplitude_hz, 5e5);
+}
+
+TEST(ScenarioTest, DeterministicAcrossRuns) {
+    auto run = [] {
+        ScenarioConfig config;
+        config.seed = 77;
+        Scenario scenario(
+            config, std::make_unique<LineWalkScript>(Vec3{-1, 4, 0}, Vec3{1, 6, 0},
+                                                     0.3, 1.0));
+        Scenario::Frame frame;
+        double checksum = 0.0;
+        while (scenario.next(frame))
+            for (const auto& rx : frame.sweeps[0])
+                checksum += rx[100] + rx[2000];
+        return checksum;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace witrack::sim
