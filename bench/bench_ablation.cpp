@@ -60,6 +60,7 @@ AblationResult run_variant(std::uint64_t seed, double seconds,
     std::vector<double> errors;
     std::size_t frames = 0, located = 0;
     sim::Scenario::Frame frame;
+    core::RangeProfile profile;
     while (scenario.next(frame)) {
         ++frames;
         core::TofFrame tof_frame;
@@ -71,9 +72,8 @@ AblationResult run_variant(std::uint64_t seed, double seconds,
             tof_frame.time_s = frame.time_s;
             tof_frame.antennas.resize(3);
             for (std::size_t rx = 0; rx < 3; ++rx) {
-                std::vector<std::vector<double>> sweeps;
-                for (const auto& s : frame.sweeps) sweeps.push_back(s[rx]);
-                const auto profile = processor.process(sweeps);
+                processor.process_into(frame.sweeps.antenna(rx),
+                                       frame.sweeps.num_sweeps(), profile);
                 const auto magnitude = backgrounds[rx].subtract(profile);
                 if (!magnitude.empty()) {
                     tof_frame.antennas[rx].contour =

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     double prev_raw_contour = -1.0;
 
     sim::Scenario::Frame frame;
+    core::RangeProfile profile;
     while (scenario.next(frame)) {
         // Ground-truth round trip to rx0 (via the torso surface).
         const geom::Vec3 surface =
@@ -59,9 +60,8 @@ int main(int argc, char** argv) {
         // Static-stripe level: the strongest raw-spectrogram magnitude in
         // the 3-25 m band, at least 2 m of round trip away from the person
         // (so the stripe measured is genuinely a static reflector).
-        std::vector<std::vector<double>> rx0_sweeps;
-        for (const auto& sweep : frame.sweeps) rx0_sweeps.push_back(sweep[0]);
-        const auto profile = processor.process(rx0_sweeps);
+        processor.process_into(frame.sweeps.antenna(0), frame.sweeps.num_sweeps(),
+                               profile);
         const auto lo = static_cast<std::size_t>(profile.bin_of_round_trip(3.0));
         const auto hi = static_cast<std::size_t>(profile.bin_of_round_trip(25.0));
         auto away_from_person = [&](std::size_t k) {

@@ -51,13 +51,37 @@ void BM_FullPipelineFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineFrame)->Unit(benchmark::kMillisecond);
 
+void BM_FullPipelineFrameNestedCompat(benchmark::State& state) {
+    // The legacy nested-vector entry point: measures what the conversion
+    // compatibility layer costs relative to the contiguous hot path above.
+    const auto& frames = captured_frames();
+    std::vector<std::vector<std::vector<std::vector<double>>>> nested;
+    nested.reserve(frames.size());
+    for (const auto& frame : frames) nested.push_back(frame.sweeps.to_nested());
+    core::PipelineConfig pipeline;
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    core::WiTrackTracker tracker(pipeline, array);
+    std::size_t i = 0;
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tracker.process_frame(nested[i % nested.size()], t));
+        ++i;
+        t += 0.0125;
+    }
+}
+BENCHMARK(BM_FullPipelineFrameNestedCompat)->Unit(benchmark::kMillisecond);
+
 void BM_RangeFftPerAntenna(benchmark::State& state) {
     const auto& frames = captured_frames();
     core::PipelineConfig pipeline;
     core::SweepProcessor processor(pipeline.fmcw, pipeline.window, pipeline.fft_size);
-    std::vector<std::vector<double>> sweeps;
-    for (const auto& sweep : frames[0].sweeps) sweeps.push_back(sweep[0]);
-    for (auto _ : state) benchmark::DoNotOptimize(processor.process(sweeps));
+    const auto& frame = frames[0].sweeps;
+    core::RangeProfile profile;
+    for (auto _ : state) {
+        processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+        benchmark::DoNotOptimize(profile.spectrum.data());
+    }
 }
 BENCHMARK(BM_RangeFftPerAntenna)->Unit(benchmark::kMicrosecond);
 
@@ -66,9 +90,12 @@ void BM_PaperLiteralFft2500(benchmark::State& state) {
     const auto& frames = captured_frames();
     core::PipelineConfig pipeline;
     core::SweepProcessor processor(pipeline.fmcw, pipeline.window, 0);
-    std::vector<std::vector<double>> sweeps;
-    for (const auto& sweep : frames[0].sweeps) sweeps.push_back(sweep[0]);
-    for (auto _ : state) benchmark::DoNotOptimize(processor.process(sweeps));
+    const auto& frame = frames[0].sweeps;
+    core::RangeProfile profile;
+    for (auto _ : state) {
+        processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+        benchmark::DoNotOptimize(profile.spectrum.data());
+    }
 }
 BENCHMARK(BM_PaperLiteralFft2500)->Unit(benchmark::kMicrosecond);
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verify in both configurations, warnings-as-errors, plus the
+# standalone header self-sufficiency audit. CI runs exactly this.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for config in Debug Release; do
+  build_dir="build-${config,,}"
+  echo "=== ${config} ==="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DWITRACK_WERROR=ON
+  cmake --build "${build_dir}" -j
+  (cd "${build_dir}" && ctest --output-on-failure -j)
+done
+
+echo "=== header self-sufficiency ==="
+fails=0
+while IFS= read -r header; do
+  if ! echo "#include \"${header}\"" |
+      g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -Isrc -Ibench -x c++ -; then
+    echo "not self-sufficient: ${header}"
+    fails=$((fails + 1))
+  fi
+done < <(find src bench -name "*.hpp" | sort)
+[ "${fails}" -eq 0 ]
+
+echo "All checks passed."

@@ -17,29 +17,38 @@ void BackgroundSubtractor::train(const RangeProfile& profile) {
 }
 
 std::vector<double> BackgroundSubtractor::subtract(const RangeProfile& profile) {
-    const std::size_t bins = profile.usable_bins;
     std::vector<double> magnitude;
+    subtract_into(profile, magnitude);
+    return magnitude;
+}
+
+void BackgroundSubtractor::subtract_into(const RangeProfile& profile,
+                                         std::vector<double>& out) {
+    const std::size_t bins = profile.usable_bins;
 
     if (mode_ == BackgroundMode::kFrameDiff) {
         if (!has_previous_) {
             previous_ = profile.spectrum;
             has_previous_ = true;
-            return magnitude;  // empty: nothing to difference yet
+            out.clear();  // nothing to difference yet
+            return;
         }
-        magnitude.resize(bins);
+        out.resize(bins);
         for (std::size_t i = 0; i < bins; ++i)
-            magnitude[i] = std::abs(profile.spectrum[i] - previous_[i]);
+            out[i] = std::abs(profile.spectrum[i] - previous_[i]);
         previous_ = profile.spectrum;
-        return magnitude;
+        return;
     }
 
     // kStaticTraining
-    if (trained_count_ == 0) return magnitude;
-    magnitude.resize(bins);
+    if (trained_count_ == 0) {
+        out.clear();
+        return;
+    }
+    out.resize(bins);
     const double scale = 1.0 / static_cast<double>(trained_count_);
     for (std::size_t i = 0; i < bins; ++i)
-        magnitude[i] = std::abs(profile.spectrum[i] - learned_sum_[i] * scale);
-    return magnitude;
+        out[i] = std::abs(profile.spectrum[i] - learned_sum_[i] * scale);
 }
 
 void BackgroundSubtractor::reset() {

@@ -42,6 +42,11 @@ class BackgroundSubtractor {
     /// kStaticTraining mode.
     std::vector<double> subtract(const RangeProfile& profile);
 
+    /// In-place variant: writes the magnitude profile into `out`, reusing
+    /// its storage (empty when there is nothing to difference yet). Zero
+    /// heap allocations at steady state.
+    void subtract_into(const RangeProfile& profile, std::vector<double>& out);
+
     void reset();
 
   private:

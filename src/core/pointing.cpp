@@ -15,19 +15,22 @@ PointingEstimator::PointingEstimator(const PipelineConfig& pipeline,
 std::vector<PointingEstimator::Burst> PointingEstimator::segment(
     const std::vector<TofFrame>& frames) const {
     std::vector<Burst> bursts;
-    std::optional<std::size_t> start;
+    // Sentinel instead of std::optional: GCC 12's -Wmaybe-uninitialized
+    // fires on the disengaged payload under -O2, and -Werror is kept on.
+    constexpr std::size_t kNoBurst = static_cast<std::size_t>(-1);
+    std::size_t start = kNoBurst;
 
     auto close_burst = [&](std::size_t end_index) {
-        if (!start) return;
+        if (start == kNoBurst) return;
         Burst b;
-        b.begin = *start;
+        b.begin = start;
         b.end = end_index;
         b.t_begin = frames[b.begin].time_s;
         b.t_end = frames[b.end - 1].time_s;
         const double len = b.t_end - b.t_begin;
         if (len >= config_.min_burst_s && len <= config_.max_burst_s)
             bursts.push_back(b);
-        start.reset();
+        start = kNoBurst;
     };
 
     // A short dropout inside a burst should not split it: tolerate up to
@@ -36,9 +39,9 @@ std::vector<PointingEstimator::Burst> PointingEstimator::segment(
     for (std::size_t i = 0; i < frames.size(); ++i) {
         const bool active = frames[i].motion_detected(config_.detection_quorum);
         if (active) {
-            if (!start) start = i;
+            if (start == kNoBurst) start = i;
             inactive_run = 0;
-        } else if (start) {
+        } else if (start != kNoBurst) {
             if (++inactive_run > 2) {
                 close_burst(i - inactive_run + 1);
                 inactive_run = 0;

@@ -4,21 +4,42 @@
 
 namespace witrack::core {
 
+namespace {
+
+std::size_t checked_fft_size(const FmcwParams& fmcw, std::size_t fft_size) {
+    fmcw.validate();
+    const std::size_t n = fmcw.samples_per_sweep();
+    const std::size_t resolved = fft_size == 0 ? n : fft_size;
+    if (resolved < n)
+        throw std::invalid_argument("SweepProcessor: fft_size below sweep length");
+    return resolved;
+}
+
+}  // namespace
+
 SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
                                std::size_t fft_size)
-    : fmcw_(fmcw) {
-    fmcw_.validate();
+    : fmcw_(fmcw),
+      fft_size_(checked_fft_size(fmcw, fft_size)),
+      rfft_(fft_size_) {
     const std::size_t n = fmcw_.samples_per_sweep();
-    fft_size_ = fft_size == 0 ? n : fft_size;
-    if (fft_size_ < n)
-        throw std::invalid_argument("SweepProcessor: fft_size below sweep length");
     window_ = dsp::make_window(window, n);
     // Normalize to unity coherent gain so thresholds are window-independent.
     const double gain = dsp::window_gain(window_) / static_cast<double>(window_.size());
     for (auto& w : window_) w /= gain;
+    averaged_.assign(fft_size_, 0.0);
 }
 
-RangeProfile SweepProcessor::process(const std::vector<std::vector<double>>& sweeps) const {
+void SweepProcessor::transform(RangeProfile& out) {
+    rfft_.forward(averaged_, out.spectrum, scratch_);
+    // One FFT bin spans fs/Nfft in beat frequency; Eq. 4 maps that to
+    // round-trip meters via C/slope.
+    const double bin_hz = fmcw_.sample_rate_hz / static_cast<double>(fft_size_);
+    out.bin_round_trip_m = kSpeedOfLight * bin_hz / fmcw_.slope();
+    out.usable_bins = fft_size_ / 2;
+}
+
+RangeProfile SweepProcessor::process(const std::vector<std::vector<double>>& sweeps) {
     const std::size_t n = fmcw_.samples_per_sweep();
     if (sweeps.empty()) throw std::invalid_argument("SweepProcessor: no sweeps");
     for (const auto& s : sweeps)
@@ -26,20 +47,41 @@ RangeProfile SweepProcessor::process(const std::vector<std::vector<double>>& swe
             throw std::invalid_argument("SweepProcessor: sweep length mismatch");
 
     // Coherent time-domain average, windowed, zero-padded to the FFT size.
-    std::vector<double> averaged(fft_size_, 0.0);
+    std::fill(averaged_.begin(), averaged_.end(), 0.0);
     const double scale = 1.0 / static_cast<double>(sweeps.size());
     for (const auto& sweep : sweeps)
-        for (std::size_t i = 0; i < n; ++i) averaged[i] += sweep[i] * scale;
-    for (std::size_t i = 0; i < n; ++i) averaged[i] *= window_[i];
+        for (std::size_t i = 0; i < n; ++i) averaged_[i] += sweep[i] * scale;
+    for (std::size_t i = 0; i < n; ++i) averaged_[i] *= window_[i];
 
     RangeProfile profile;
-    profile.spectrum = dsp::fft_forward_real(averaged);
-    // One FFT bin spans fs/Nfft in beat frequency; Eq. 4 maps that to
-    // round-trip meters via C/slope.
-    const double bin_hz = fmcw_.sample_rate_hz / static_cast<double>(fft_size_);
-    profile.bin_round_trip_m = kSpeedOfLight * bin_hz / fmcw_.slope();
-    profile.usable_bins = fft_size_ / 2;
+    transform(profile);
     return profile;
+}
+
+void SweepProcessor::process_into(std::span<const double> sweeps,
+                                  std::size_t sweep_count, RangeProfile& out) {
+    const std::size_t n = fmcw_.samples_per_sweep();
+    if (sweep_count == 0) throw std::invalid_argument("SweepProcessor: no sweeps");
+    if (sweeps.size() != sweep_count * n)
+        throw std::invalid_argument("SweepProcessor: sweep length mismatch");
+
+    std::fill(averaged_.begin(), averaged_.end(), 0.0);
+    const double scale = 1.0 / static_cast<double>(sweep_count);
+    for (std::size_t s = 0; s < sweep_count; ++s) {
+        const double* sweep = sweeps.data() + s * n;
+        for (std::size_t i = 0; i < n; ++i) averaged_[i] += sweep[i] * scale;
+    }
+    for (std::size_t i = 0; i < n; ++i) averaged_[i] *= window_[i];
+    transform(out);
+}
+
+void SweepProcessor::process_frame_into(const FrameBuffer& frame,
+                                        std::vector<RangeProfile>& out) {
+    if (frame.num_rx() == 0 || frame.num_sweeps() == 0)
+        throw std::invalid_argument("SweepProcessor: no sweeps");
+    out.resize(frame.num_rx());
+    for (std::size_t rx = 0; rx < frame.num_rx(); ++rx)
+        process_into(frame.antenna(rx), frame.num_sweeps(), out[rx]);
 }
 
 }  // namespace witrack::core

@@ -3,13 +3,19 @@
 // negligible over 12.5 ms, so the body reflection adds coherently while
 // noise adds incoherently), window, and FFT. One FFT bin maps to a
 // round-trip distance of C / (slope * Tsweep) meters (Eq. 4).
+//
+// The processor owns its averaging buffer, its FFT plan and the FFT scratch
+// space, so the steady-state `process_into` / `process_frame_into` paths do
+// zero heap allocations per frame.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/constants.hpp"
+#include "common/frame_buffer.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/window.hpp"
 
@@ -25,6 +31,10 @@ struct RangeProfile {
     double bin_of_round_trip(double m) const { return m / bin_round_trip_m; }
 };
 
+/// Not const-callable and not thread-safe: all entry points (including the
+/// legacy process()) reuse the owned averaging buffer and FFT scratch, and
+/// the FFT plan makes the class move-only. Use one SweepProcessor per
+/// thread.
 class SweepProcessor {
   public:
     /// fft_size 0 = exactly one sweep (paper-literal); larger values
@@ -34,15 +44,33 @@ class SweepProcessor {
 
     /// Average the given sweeps (each samples_per_sweep long) and transform.
     /// Accepts any sweep count >= 1 (the fast-capture path supplies an
-    /// already-averaged single sweep).
-    RangeProfile process(const std::vector<std::vector<double>>& sweeps) const;
+    /// already-averaged single sweep). Compatibility entry point: same
+    /// spectra, bit for bit, as the contiguous overloads below.
+    RangeProfile process(const std::vector<std::vector<double>>& sweeps);
+
+    /// Contiguous equivalent: `sweeps` holds sweep_count back-to-back sweeps
+    /// of samples_per_sweep() doubles (e.g. FrameBuffer::antenna). Writes
+    /// into `out`, reusing its storage -- no heap allocation at steady state.
+    void process_into(std::span<const double> sweeps, std::size_t sweep_count,
+                      RangeProfile& out);
+
+    /// Batch the per-antenna range transforms of one frame in a single pass.
+    /// `out` is resized to frame.num_rx(); profile storage is reused.
+    void process_frame_into(const FrameBuffer& frame, std::vector<RangeProfile>& out);
 
     const FmcwParams& params() const { return fmcw_; }
+    std::size_t fft_size() const { return fft_size_; }
 
   private:
+    /// Window the averaged sweep in averaged_ and FFT it into `out`.
+    void transform(RangeProfile& out);
+
     FmcwParams fmcw_;
     std::size_t fft_size_ = 0;
     std::vector<double> window_;
+    std::vector<double> averaged_;  ///< fft_size_ doubles, zero-padded tail
+    dsp::RealFft rfft_;
+    dsp::FftScratch scratch_;
 };
 
 }  // namespace witrack::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace witrack::core {
 
@@ -12,18 +13,8 @@ TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx)
     if (num_rx == 0) throw std::invalid_argument("TofEstimator: need >= 1 antenna");
     per_rx_.reserve(num_rx);
     for (std::size_t i = 0; i < num_rx; ++i) per_rx_.emplace_back(config_);
-}
-
-std::vector<std::vector<double>> TofEstimator::antenna_sweeps(
-    const std::vector<std::vector<std::vector<double>>>& sweeps, std::size_t rx) const {
-    std::vector<std::vector<double>> gathered;
-    gathered.reserve(sweeps.size());
-    for (const auto& sweep : sweeps) {
-        if (rx >= sweep.size())
-            throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
-        gathered.push_back(sweep[rx]);
-    }
-    return gathered;
+    profiles_.resize(num_rx);
+    magnitude_.resize(num_rx);
 }
 
 void TofEstimator::enable_static_training() {
@@ -31,28 +22,38 @@ void TofEstimator::enable_static_training() {
         antenna.background = BackgroundSubtractor(BackgroundMode::kStaticTraining);
 }
 
-void TofEstimator::train_background(
-    const std::vector<std::vector<std::vector<double>>>& sweeps) {
+void TofEstimator::train_background(const FrameBuffer& frame) {
+    if (frame.num_rx() < per_rx_.size())
+        throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
     for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
-        const auto profile = processor_.process(antenna_sweeps(sweeps, rx));
-        per_rx_[rx].background.train(profile);
+        processor_.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
+        per_rx_[rx].background.train(profiles_[rx]);
     }
 }
 
-TofFrame TofEstimator::process_frame(
-    const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
-    TofFrame frame;
-    frame.time_s = time_s;
-    frame.antennas.resize(per_rx_.size());
+void TofEstimator::train_background(
+    const std::vector<std::vector<std::vector<double>>>& sweeps) {
+    train_background(FrameBuffer::from_nested(sweeps));
+}
+
+TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
+    if (frame.num_rx() < per_rx_.size())
+        throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
+
+    TofFrame out_frame;
+    out_frame.time_s = time_s;
+    out_frame.antennas.resize(per_rx_.size());
 
     const double dt = config_.fmcw.frame_duration_s();
 
     for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
         auto& antenna_state = per_rx_[rx];
-        auto& out = frame.antennas[rx];
+        auto& out = out_frame.antennas[rx];
 
-        const auto profile = processor_.process(antenna_sweeps(sweeps, rx));
-        auto magnitude = antenna_state.background.subtract(profile);
+        processor_.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
+        const auto& profile = profiles_[rx];
+        auto& magnitude = magnitude_[rx];
+        antenna_state.background.subtract_into(profile, magnitude);
 
         if (!magnitude.empty()) {
             if (config_.contour_peaks > 1) {
@@ -86,9 +87,14 @@ TofFrame TofEstimator::process_frame(
             }
         }
         out.denoised_m = antenna_state.denoiser.update(out.contour, dt);
-        if (config_.record_profiles) out.profile = std::move(magnitude);
+        if (config_.record_profiles) out.profile = magnitude;
     }
-    return frame;
+    return out_frame;
+}
+
+TofFrame TofEstimator::process_frame(
+    const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
+    return process_frame(FrameBuffer::from_nested(sweeps), time_s);
 }
 
 void TofEstimator::reset() {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/frame_buffer.hpp"
 #include "core/background.hpp"
 #include "core/contour.hpp"
 #include "core/denoise.hpp"
@@ -67,13 +68,19 @@ class TofEstimator {
   public:
     TofEstimator(const PipelineConfig& config, std::size_t num_rx);
 
-    /// Process one frame of raw sweeps. Layout: sweeps[sweep][rx][sample].
+    /// Process one frame of raw sweeps (contiguous rx-major storage). This
+    /// is the realtime hot path: zero heap allocations at steady state.
+    TofFrame process_frame(const FrameBuffer& frame, double time_s);
+
+    /// Compatibility overload for the legacy nested layout
+    /// sweeps[sweep][rx][sample]; copies into a FrameBuffer and delegates.
     TofFrame process_frame(const std::vector<std::vector<std::vector<double>>>& sweeps,
                            double time_s);
 
     /// Static-training extension: learn the empty scene from these frames
     /// (switches the background mode for all antennas).
     void enable_static_training();
+    void train_background(const FrameBuffer& frame);
     void train_background(const std::vector<std::vector<std::vector<double>>>& sweeps);
 
     const PipelineConfig& config() const { return config_; }
@@ -90,15 +97,12 @@ class TofEstimator {
             : background(BackgroundMode::kFrameDiff), denoiser(config) {}
     };
 
-    /// Gather each antenna's sweeps from the [sweep][rx][sample] layout.
-    std::vector<std::vector<double>> antenna_sweeps(
-        const std::vector<std::vector<std::vector<double>>>& sweeps,
-        std::size_t rx) const;
-
     PipelineConfig config_;
     SweepProcessor processor_;
     ContourTracker contour_;
     std::vector<PerAntenna> per_rx_;
+    std::vector<RangeProfile> profiles_;          ///< reused per-rx spectra
+    std::vector<std::vector<double>> magnitude_;  ///< reused per-rx profiles
 };
 
 }  // namespace witrack::core

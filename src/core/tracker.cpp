@@ -1,5 +1,6 @@
 #include "core/tracker.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace witrack::core {
@@ -14,10 +15,15 @@ WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
 
 WiTrackTracker::FrameResult WiTrackTracker::process_frame(
     const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
+    return process_frame(FrameBuffer::from_nested(sweeps), time_s);
+}
+
+WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& frame,
+                                                          double time_s) {
     const auto t0 = std::chrono::steady_clock::now();
 
     FrameResult result;
-    result.tof = tof_.process_frame(sweeps, time_s);
+    result.tof = tof_.process_frame(frame, time_s);
     result.raw = localizer_.locate(result.tof);
 
     const double dt = have_last_time_ ? (time_s - last_time_s_)

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/frame_buffer.hpp"
 #include "core/localize.hpp"
 #include "core/params.hpp"
 #include "core/tof.hpp"
@@ -26,7 +27,13 @@ class WiTrackTracker {
         double processing_seconds = 0.0;    ///< wall-clock pipeline latency
     };
 
-    /// Process one frame of sweeps (layout sweeps[sweep][rx][sample]).
+    /// Process one frame of sweeps (contiguous rx-major storage). This is
+    /// the realtime hot path.
+    FrameResult process_frame(const FrameBuffer& frame, double time_s);
+
+    /// Compatibility overload for the legacy nested layout
+    /// sweeps[sweep][rx][sample]; copies into a FrameBuffer and delegates,
+    /// so both entry points produce identical tracks.
     FrameResult process_frame(const std::vector<std::vector<std::vector<double>>>& sweeps,
                               double time_s);
 

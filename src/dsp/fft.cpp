@@ -87,19 +87,20 @@ void Fft::radix2(std::vector<cplx>& data, bool inverse) const {
     }
 }
 
-void Fft::bluestein(std::vector<cplx>& data, bool inverse) const {
+void Fft::bluestein(std::vector<cplx>& data, bool inverse, FftScratch& scratch) const {
     // DFT via chirp-z: X_k = conj(b_k) * IFFT(FFT(a.*conj(b)) .* FFT(b))_k,
     // where b is the quadratic chirp. The inverse transform reuses the
     // forward machinery through conjugation.
     if (inverse) {
         for (auto& v : data) v = std::conj(v);
-        bluestein(data, false);
+        bluestein(data, false, scratch);
         const double scale = 1.0 / static_cast<double>(n_);
         for (auto& v : data) v = std::conj(v) * scale;
         return;
     }
 
-    std::vector<cplx> work(m_, cplx(0.0, 0.0));
+    auto& work = scratch.work;
+    work.assign(m_, cplx(0.0, 0.0));
     for (std::size_t k = 0; k < n_; ++k) work[k] = data[k] * std::conj(chirp_[k]);
     conv_plan_->forward(work);
     for (std::size_t k = 0; k < m_; ++k) work[k] *= chirp_spectrum_[k];
@@ -108,19 +109,29 @@ void Fft::bluestein(std::vector<cplx>& data, bool inverse) const {
 }
 
 void Fft::forward(std::vector<cplx>& data) const {
+    FftScratch scratch;
+    forward(data, scratch);
+}
+
+void Fft::inverse(std::vector<cplx>& data) const {
+    FftScratch scratch;
+    inverse(data, scratch);
+}
+
+void Fft::forward(std::vector<cplx>& data, FftScratch& scratch) const {
     if (data.size() != n_) throw std::invalid_argument("Fft::forward: size mismatch");
     if (pow2_)
         radix2(data, false);
     else
-        bluestein(data, false);
+        bluestein(data, false, scratch);
 }
 
-void Fft::inverse(std::vector<cplx>& data) const {
+void Fft::inverse(std::vector<cplx>& data, FftScratch& scratch) const {
     if (data.size() != n_) throw std::invalid_argument("Fft::inverse: size mismatch");
     if (pow2_)
         radix2(data, true);
     else
-        bluestein(data, true);
+        bluestein(data, true, scratch);
 }
 
 std::vector<cplx> Fft::forward_real(const std::vector<double>& input) const {
@@ -129,6 +140,56 @@ std::vector<cplx> Fft::forward_real(const std::vector<double>& input) const {
     for (std::size_t i = 0; i < n_; ++i) data[i] = cplx(input[i], 0.0);
     forward(data);
     return data;
+}
+
+RealFft::RealFft(std::size_t n) : n_(n) {
+    if (n_ == 0) throw std::invalid_argument("RealFft: size must be positive");
+    if (n_ % 2 == 0 && n_ >= 2) {
+        half_plan_ = std::make_unique<Fft>(n_ / 2);
+        twiddles_.resize(n_ / 2);
+        for (std::size_t k = 0; k < n_ / 2; ++k) {
+            const double angle = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
+            twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
+        }
+    } else {
+        full_plan_ = std::make_unique<Fft>(n_);
+    }
+}
+
+void RealFft::forward(std::span<const double> input, std::vector<cplx>& out,
+                      FftScratch& scratch) const {
+    if (input.size() != n_)
+        throw std::invalid_argument("RealFft::forward: size mismatch");
+
+    if (full_plan_) {  // odd N fallback: plain complex transform
+        out.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) out[i] = cplx(input[i], 0.0);
+        full_plan_->forward(out, scratch);
+        return;
+    }
+
+    // Pack adjacent real samples into one half-length complex sequence:
+    // z_n = x_{2n} + i*x_{2n+1}.
+    const std::size_t h = n_ / 2;
+    auto& z = scratch.packed;
+    z.resize(h);
+    for (std::size_t k = 0; k < h; ++k) z[k] = cplx(input[2 * k], input[2 * k + 1]);
+    half_plan_->forward(z, scratch);
+
+    // Untangle the even/odd sub-spectra (E_k, O_k) from Z and recombine:
+    //   X_k       = E_k + w^k O_k,   X_{k+N/2} = E_k - w^k O_k,
+    // with w = exp(-2*pi*i/N). The result is the full conjugate-symmetric
+    // N-point spectrum of the real input.
+    out.resize(n_);
+    for (std::size_t k = 0; k < h; ++k) {
+        const cplx zk = z[k];
+        const cplx zmk = std::conj(z[(h - k) % h]);
+        const cplx even = 0.5 * (zk + zmk);
+        const cplx odd = cplx(0.0, -0.5) * (zk - zmk);
+        const cplx t = twiddles_[k] * odd;
+        out[k] = even + t;
+        out[k + h] = even - t;
+    }
 }
 
 const Fft& fft_plan(std::size_t n) {

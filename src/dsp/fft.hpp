@@ -10,11 +10,21 @@
 #include <complex>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace witrack::dsp {
 
 using cplx = std::complex<double>;
+
+/// Caller-owned scratch space for allocation-free transforms. Buffers grow
+/// on first use and are reused afterwards, so a long-lived scratch makes
+/// every subsequent transform heap-allocation-free. One scratch must not be
+/// shared between threads.
+struct FftScratch {
+    std::vector<cplx> work;    ///< Bluestein convolution buffer
+    std::vector<cplx> packed;  ///< RealFft half-length packing buffer
+};
 
 /// Planned FFT of a fixed size. Plans precompute twiddle factors (and, for
 /// non-power-of-two sizes, the Bluestein chirp spectrum), so repeated
@@ -32,6 +42,11 @@ class Fft {
     /// In-place inverse DFT, normalized by 1/N so inverse(forward(x)) == x.
     void inverse(std::vector<cplx>& data) const;
 
+    /// Scratch-based variants: identical results, but all temporary storage
+    /// lives in `scratch`, so repeated calls do not touch the heap.
+    void forward(std::vector<cplx>& data, FftScratch& scratch) const;
+    void inverse(std::vector<cplx>& data, FftScratch& scratch) const;
+
     /// Forward DFT of a real input sequence; returns the full complex
     /// spectrum of length size().
     std::vector<cplx> forward_real(const std::vector<double>& input) const;
@@ -40,7 +55,7 @@ class Fft {
 
   private:
     void radix2(std::vector<cplx>& data, bool inverse) const;
-    void bluestein(std::vector<cplx>& data, bool inverse) const;
+    void bluestein(std::vector<cplx>& data, bool inverse, FftScratch& scratch) const;
 
     std::size_t n_ = 0;
     bool pow2_ = false;
@@ -57,6 +72,31 @@ class Fft {
     std::vector<cplx> chirp_;
     std::vector<cplx> chirp_spectrum_;
     std::unique_ptr<Fft> conv_plan_;
+};
+
+/// Real-input DFT plan of a fixed even size N, computed through one
+/// N/2-point complex FFT (even samples in the real part, odd samples in the
+/// imaginary part) plus an O(N) untangling stage -- roughly twice as fast
+/// as the generic complex transform on the same input. Odd N falls back to
+/// the complex plan. Immutable after construction; all per-call storage is
+/// in the caller's FftScratch, so steady-state transforms are
+/// allocation-free.
+class RealFft {
+  public:
+    explicit RealFft(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /// Full conjugate-symmetric spectrum of length size() into `out`
+    /// (resized as needed; no allocation once capacity is warm).
+    void forward(std::span<const double> input, std::vector<cplx>& out,
+                 FftScratch& scratch) const;
+
+  private:
+    std::size_t n_ = 0;
+    std::unique_ptr<Fft> half_plan_;  ///< N/2-point plan (even N)
+    std::unique_ptr<Fft> full_plan_;  ///< fallback plan (odd N)
+    std::vector<cplx> twiddles_;      ///< exp(-2*pi*i*k/N), k in [0, N/2)
 };
 
 /// Process-wide plan cache: returns a shared immutable plan for size n.

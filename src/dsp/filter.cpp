@@ -20,7 +20,7 @@ double OnePoleHighPass::process(double x) {
     return y;
 }
 
-void OnePoleHighPass::process_in_place(std::vector<double>& signal) {
+void OnePoleHighPass::process_in_place(std::span<double> signal) {
     for (auto& v : signal) v = process(v);
 }
 

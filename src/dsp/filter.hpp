@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <span>
 #include <vector>
 
 namespace witrack::dsp {
@@ -18,7 +19,7 @@ class OnePoleHighPass {
     OnePoleHighPass(double cutoff_hz, double sample_rate_hz);
 
     double process(double x);
-    void process_in_place(std::vector<double>& signal);
+    void process_in_place(std::span<double> signal);
     void reset();
     double coefficient() const { return a_; }
 

@@ -7,8 +7,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <stdexcept>
-#include <vector>
 
 namespace witrack::hw {
 
@@ -25,14 +26,18 @@ class Adc {
 
     /// One-time gain calibration: set full scale to `headroom` times the
     /// observed peak.
-    void calibrate(const std::vector<double>& first_sweep, double headroom = 4.0) {
+    void calibrate(std::span<const double> first_sweep, double headroom = 4.0) {
         double peak = 0.0;
         for (double v : first_sweep) peak = std::max(peak, std::abs(v));
         full_scale_ = peak > 0.0 ? peak * headroom : 1.0;
     }
+    void calibrate(std::initializer_list<double> first_sweep, double headroom = 4.0) {
+        calibrate(std::span<const double>(first_sweep.begin(), first_sweep.size()),
+                  headroom);
+    }
 
     /// Quantize a sweep in place (no-op when bits == 0 or uncalibrated).
-    void process(std::vector<double>& sweep) const {
+    void process(std::span<double> sweep) const {
         if (bits_ == 0 || full_scale_ <= 0.0) return;
         const double levels = static_cast<double>(1 << (bits_ - 1));
         const double lsb = full_scale_ / levels;

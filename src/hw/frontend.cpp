@@ -1,5 +1,7 @@
 #include "hw/frontend.hpp"
 
+#include <stdexcept>
+
 namespace witrack::hw {
 
 using witrack::rf::BodyScatterer;
@@ -27,18 +29,19 @@ void FmcwFrontend::rebuild_static_cache() {
     }
 }
 
-std::vector<std::vector<double>> FmcwFrontend::capture_sweep(
-    std::span<const BodyScatterer> body) {
+void FmcwFrontend::capture_sweep_into(witrack::FrameBuffer& frame,
+                                      std::size_t sweep_index,
+                                      std::span<const BodyScatterer> body) {
     const std::size_t n = config_.fmcw.samples_per_sweep();
-    std::vector<std::vector<double>> sweeps;
-    sweeps.reserve(channel_.num_rx());
+    if (frame.num_rx() != channel_.num_rx() || frame.samples_per_sweep() != n)
+        throw std::invalid_argument("FmcwFrontend: frame shape mismatch");
 
     // Sweep-to-sweep repeatability jitter is common to all receivers (it
     // originates in the shared transmit chain).
     const double jitter = rng_.gaussian(config_.static_gain_jitter);
 
     for (std::size_t rx = 0; rx < channel_.num_rx(); ++rx) {
-        std::vector<double> sweep(n);
+        auto sweep = frame.sweep(rx, sweep_index);
         const auto& cached = static_cache_[rx];
         const double gain = 1.0 + jitter;
         for (std::size_t i = 0; i < n; ++i) sweep[i] = cached[i] * gain;
@@ -55,7 +58,19 @@ std::vector<std::vector<double>> FmcwFrontend::capture_sweep(
 
         if (!adc_[rx].calibrated()) adc_[rx].calibrate(sweep);
         adc_[rx].process(sweep);
-        sweeps.push_back(std::move(sweep));
+    }
+}
+
+std::vector<std::vector<double>> FmcwFrontend::capture_sweep(
+    std::span<const BodyScatterer> body) {
+    witrack::FrameBuffer frame(channel_.num_rx(), 1, config_.fmcw.samples_per_sweep());
+    capture_sweep_into(frame, 0, body);
+
+    std::vector<std::vector<double>> sweeps;
+    sweeps.reserve(channel_.num_rx());
+    for (std::size_t rx = 0; rx < channel_.num_rx(); ++rx) {
+        const auto row = frame.sweep(rx, 0);
+        sweeps.emplace_back(row.begin(), row.end());
     }
     return sweeps;
 }

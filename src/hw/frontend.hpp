@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/constants.hpp"
+#include "common/frame_buffer.hpp"
 #include "common/random.hpp"
 #include "dsp/filter.hpp"
 #include "hw/adc.hpp"
@@ -40,9 +41,16 @@ class FmcwFrontend {
     /// The front end owns a copy of the channel (scene + antennas).
     FmcwFrontend(FrontendConfig config, witrack::rf::Channel channel, Rng rng);
 
-    /// Capture one sweep: returns one baseband sample vector per receive
-    /// antenna. `body` is the person's scatterer constellation at the time
-    /// of this sweep (empty when nobody is present).
+    /// Capture one sweep directly into `frame` at `sweep_index` (one row per
+    /// receive antenna, no heap allocation). `body` is the person's
+    /// scatterer constellation at the time of this sweep (empty when nobody
+    /// is present). `frame` must be sized for num_rx() antennas and
+    /// samples_per_sweep() samples.
+    void capture_sweep_into(witrack::FrameBuffer& frame, std::size_t sweep_index,
+                            std::span<const witrack::rf::BodyScatterer> body);
+
+    /// Compatibility wrapper: capture one sweep and return one baseband
+    /// sample vector per receive antenna.
     std::vector<std::vector<double>> capture_sweep(
         std::span<const witrack::rf::BodyScatterer> body);
 

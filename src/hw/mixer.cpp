@@ -23,7 +23,7 @@ DechirpMixer::DechirpMixer(const witrack::FmcwParams& fmcw, SweepNonlinearity no
 }
 
 void DechirpMixer::synthesize(std::span<const PropagationPath> paths,
-                              std::vector<double>& out) const {
+                              std::span<double> out) const {
     const std::size_t n = fmcw_.samples_per_sweep();
     if (out.size() != n) throw std::invalid_argument("DechirpMixer: bad buffer size");
 

@@ -27,9 +27,10 @@ class DechirpMixer {
     DechirpMixer(const witrack::FmcwParams& fmcw, SweepNonlinearity nonlinearity = {});
 
     /// Accumulate the baseband contribution of `paths` into `out`, which
-    /// must have samples_per_sweep() elements.
+    /// must have samples_per_sweep() elements. Accepts any contiguous
+    /// buffer (e.g. a FrameBuffer sweep row).
     void synthesize(std::span<const witrack::rf::PropagationPath> paths,
-                    std::vector<double>& out) const;
+                    std::span<double> out) const;
 
     /// Convenience: synthesize into a fresh zeroed buffer.
     std::vector<double> synthesize(

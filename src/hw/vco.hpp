@@ -5,6 +5,7 @@
 // quadratic term so the linearizer has something real to correct.
 #pragma once
 
+#include <cmath>
 #include <stdexcept>
 
 namespace witrack::hw {

@@ -79,9 +79,15 @@ bool Scenario::next(Frame& frame) {
 
     const std::size_t sweeps =
         config_.fast_capture ? 1 : config_.fmcw.sweeps_per_frame;
-    frame.sweeps.resize(sweeps);
+    const std::size_t samples = config_.fmcw.samples_per_sweep();
+    // capture_sweep_into assigns every sample, so skip the zero-fill when a
+    // reused Frame already has the right shape.
+    if (frame.sweeps.num_rx() != frontend_->num_rx() ||
+        frame.sweeps.num_sweeps() != sweeps ||
+        frame.sweeps.samples_per_sweep() != samples)
+        frame.sweeps.resize(frontend_->num_rx(), sweeps, samples);
     for (std::size_t s = 0; s < sweeps; ++s)
-        frame.sweeps[s] = frontend_->capture_sweep(scatterers);
+        frontend_->capture_sweep_into(frame.sweeps, s, scatterers);
 
     ++frame_index_;
     return true;

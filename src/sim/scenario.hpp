@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/constants.hpp"
+#include "common/frame_buffer.hpp"
 #include "geom/array_geometry.hpp"
 #include "hw/frontend.hpp"
 #include "sim/environment.hpp"
@@ -45,8 +46,10 @@ class Scenario {
 
     struct Frame {
         double time_s = 0.0;
-        /// sweeps[s][rx] is one baseband sweep (samples_per_sweep doubles).
-        std::vector<std::vector<std::vector<double>>> sweeps;
+        /// Contiguous rx-major baseband storage; sweeps.sweep(rx, s) is one
+        /// baseband sweep (samples_per_sweep doubles). Reusing one Frame
+        /// across next() calls keeps the steady state allocation-free.
+        FrameBuffer sweeps;
         Pose pose;                  ///< person 1 ground truth
         std::optional<Pose> pose2;  ///< person 2 ground truth, if present
     };

@@ -1,0 +1,272 @@
+// FrameBuffer contract tests: layout round-trips, stride/indexing edge
+// cases, bit-for-bit spectral equivalence between the legacy nested-vector
+// entry points and the contiguous hot path, steady-state allocation freedom
+// of SweepProcessor::process_into, and WiTrackTracker parity across the old
+// and new process_frame overloads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "common/frame_buffer.hpp"
+#include "core/background.hpp"
+#include "core/range_fft.hpp"
+#include "core/tracker.hpp"
+#include "dsp/fft.hpp"
+#include "sim/scenario.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every heap allocation in this binary bumps the
+// counter, so a test can assert that a region of code performed none.
+//
+// GCC pairs the visible std::free bodies below with the library declaration
+// of operator new when inlining them into callers and reports a mismatch;
+// the replacement set is in fact consistent (malloc in, free out).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+    ++g_allocations;
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace witrack {
+namespace {
+
+std::vector<std::vector<std::vector<double>>> make_nested(std::size_t sweeps,
+                                                          std::size_t num_rx,
+                                                          std::size_t samples,
+                                                          unsigned seed = 7) {
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> dist(0.0, 1.0);
+    std::vector<std::vector<std::vector<double>>> nested(sweeps);
+    for (auto& sweep : nested) {
+        sweep.resize(num_rx);
+        for (auto& rx : sweep) {
+            rx.resize(samples);
+            for (auto& v : rx) v = dist(rng);
+        }
+    }
+    return nested;
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(FrameBufferTest, RoundTripsNestedLayout) {
+    const auto nested = make_nested(5, 3, 17);
+    const auto frame = FrameBuffer::from_nested(nested);
+
+    EXPECT_EQ(frame.num_sweeps(), 5u);
+    EXPECT_EQ(frame.num_rx(), 3u);
+    EXPECT_EQ(frame.samples_per_sweep(), 17u);
+    EXPECT_EQ(frame.size(), 5u * 3u * 17u);
+
+    for (std::size_t s = 0; s < 5; ++s)
+        for (std::size_t rx = 0; rx < 3; ++rx)
+            for (std::size_t i = 0; i < 17; ++i)
+                ASSERT_EQ(frame.at(rx, s, i), nested[s][rx][i]);
+
+    EXPECT_EQ(frame.to_nested(), nested);
+}
+
+TEST(FrameBufferTest, AntennaSpanIsContiguousAndSweepMajor) {
+    const auto nested = make_nested(4, 2, 9);
+    const auto frame = FrameBuffer::from_nested(nested);
+
+    for (std::size_t rx = 0; rx < 2; ++rx) {
+        const auto block = frame.antenna(rx);
+        ASSERT_EQ(block.size(), 4u * 9u);
+        for (std::size_t s = 0; s < 4; ++s) {
+            const auto row = frame.sweep(rx, s);
+            EXPECT_EQ(row.data(), block.data() + s * 9);  // no gaps between sweeps
+            for (std::size_t i = 0; i < 9; ++i)
+                ASSERT_EQ(row[i], nested[s][rx][i]);
+        }
+    }
+}
+
+TEST(FrameBufferTest, IndexingEdgeCases) {
+    FrameBuffer frame(2, 3, 8);
+    EXPECT_THROW(frame.sweep(2, 0), std::out_of_range);
+    EXPECT_THROW(frame.sweep(0, 3), std::out_of_range);
+    EXPECT_THROW(frame.antenna(2), std::out_of_range);
+    EXPECT_THROW(frame.at(0, 0, 8), std::out_of_range);
+    EXPECT_NO_THROW(frame.at(1, 2, 7));
+
+    FrameBuffer empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.num_rx(), 0u);
+    EXPECT_THROW(empty.sweep(0, 0), std::out_of_range);
+}
+
+TEST(FrameBufferTest, RejectsRaggedNestedInput) {
+    auto ragged_rx = make_nested(3, 2, 8);
+    ragged_rx[1].pop_back();
+    EXPECT_THROW(FrameBuffer::from_nested(ragged_rx), std::invalid_argument);
+
+    auto ragged_len = make_nested(3, 2, 8);
+    ragged_len[2][1].push_back(0.0);
+    EXPECT_THROW(FrameBuffer::from_nested(ragged_len), std::invalid_argument);
+
+    EXPECT_TRUE(FrameBuffer::from_nested({}).empty());
+}
+
+TEST(FrameBufferTest, ResizeReusesStorageAndZeroes) {
+    FrameBuffer frame(3, 5, 100);
+    frame.at(2, 4, 99) = 42.0;
+    const double* before = frame.data();
+    frame.resize(3, 5, 100);
+    EXPECT_EQ(frame.data(), before);  // same capacity, reused in place
+    EXPECT_EQ(frame.at(2, 4, 99), 0.0);
+}
+
+// ------------------------------------------------------- spectra identity
+
+TEST(FrameBufferTest, SpectraBitForBitAcrossLayouts) {
+    FmcwParams fmcw;
+    fmcw.sweep_duration_s = 250e-6;  // 250 samples: fast but non-trivial
+    const std::size_t n = fmcw.samples_per_sweep();
+    const auto nested = make_nested(5, 3, n);
+    const auto frame = FrameBuffer::from_nested(nested);
+
+    for (const std::size_t fft_size : {std::size_t{0}, std::size_t{512}}) {
+        core::SweepProcessor processor(fmcw, dsp::WindowType::kHann, fft_size);
+        std::vector<core::RangeProfile> batched;
+        processor.process_frame_into(frame, batched);
+        ASSERT_EQ(batched.size(), 3u);
+
+        for (std::size_t rx = 0; rx < 3; ++rx) {
+            // Legacy entry point: gather this antenna's sweeps by copy.
+            std::vector<std::vector<double>> gathered;
+            for (std::size_t s = 0; s < 5; ++s) gathered.push_back(nested[s][rx]);
+            const auto legacy = processor.process(gathered);
+
+            core::RangeProfile contiguous;
+            processor.process_into(frame.antenna(rx), frame.num_sweeps(), contiguous);
+
+            ASSERT_EQ(legacy.spectrum.size(), contiguous.spectrum.size());
+            ASSERT_EQ(legacy.spectrum.size(), batched[rx].spectrum.size());
+            EXPECT_EQ(legacy.bin_round_trip_m, contiguous.bin_round_trip_m);
+            EXPECT_EQ(legacy.usable_bins, contiguous.usable_bins);
+            // Bit-for-bit: all three paths run the identical arithmetic.
+            EXPECT_EQ(0, std::memcmp(legacy.spectrum.data(), contiguous.spectrum.data(),
+                                     legacy.spectrum.size() * sizeof(dsp::cplx)));
+            EXPECT_EQ(0, std::memcmp(legacy.spectrum.data(), batched[rx].spectrum.data(),
+                                     legacy.spectrum.size() * sizeof(dsp::cplx)));
+        }
+    }
+}
+
+TEST(FrameBufferTest, RealFftMatchesComplexReference) {
+    // Even (packed path, power-of-two half), even with Bluestein half, odd
+    // (fallback): all must agree with the reference complex transform.
+    for (const std::size_t n : {16u, 250u, 17u}) {
+        std::mt19937 rng(n);
+        std::normal_distribution<double> dist(0.0, 1.0);
+        std::vector<double> x(n);
+        for (auto& v : x) v = dist(rng);
+
+        const auto reference = dsp::fft_plan(n).forward_real(x);
+        dsp::RealFft rfft(n);
+        dsp::FftScratch scratch;
+        std::vector<dsp::cplx> out;
+        rfft.forward(x, out, scratch);
+
+        ASSERT_EQ(out.size(), n);
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_NEAR(out[k].real(), reference[k].real(), 1e-9) << "k=" << k;
+            EXPECT_NEAR(out[k].imag(), reference[k].imag(), 1e-9) << "k=" << k;
+        }
+    }
+}
+
+// ------------------------------------------------------- zero allocations
+
+TEST(FrameBufferTest, SweepProcessorSteadyStateDoesNotAllocate) {
+    FmcwParams fmcw;
+    fmcw.sweep_duration_s = 250e-6;
+    const std::size_t n = fmcw.samples_per_sweep();
+    FrameBuffer frame = FrameBuffer::from_nested(make_nested(5, 3, n));
+
+    // Both the zero-padded radix-2 path and the paper-literal Bluestein
+    // path must be allocation-free once buffers are warm.
+    for (const std::size_t fft_size : {std::size_t{512}, std::size_t{0}}) {
+        core::SweepProcessor processor(fmcw, dsp::WindowType::kHann, fft_size);
+        core::BackgroundSubtractor background;
+        core::RangeProfile profile;
+        std::vector<double> magnitude;
+        for (int warm = 0; warm < 3; ++warm) {
+            processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+            background.subtract_into(profile, magnitude);
+        }
+
+        const std::size_t before = g_allocations.load();
+        for (int pass = 0; pass < 10; ++pass) {
+            processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+            background.subtract_into(profile, magnitude);
+        }
+        EXPECT_EQ(g_allocations.load() - before, 0u)
+            << "fft_size=" << fft_size;
+    }
+}
+
+// ------------------------------------------------- tracker entry parity
+
+TEST(FrameBufferTest, TrackerMatchesAcrossOldAndNewEntryPoints) {
+    sim::ScenarioConfig config;
+    config.seed = 99;
+    config.fast_capture = true;  // keep the suite quick
+    sim::Scenario scenario(config, std::make_unique<sim::LineWalkScript>(
+                                       geom::Vec3{-1, 5, 0}, geom::Vec3{1, 5, 0},
+                                       1.0, 1.0));
+    std::vector<sim::Scenario::Frame> frames;
+    sim::Scenario::Frame frame;
+    while (scenario.next(frame)) frames.push_back(frame);
+    ASSERT_GT(frames.size(), 10u);
+
+    core::PipelineConfig pipeline;
+    pipeline.fmcw = config.fmcw;
+    core::WiTrackTracker via_buffer(pipeline, scenario.array());
+    core::WiTrackTracker via_nested(pipeline, scenario.array());
+
+    for (const auto& f : frames) {
+        const auto a = via_buffer.process_frame(f.sweeps, f.time_s);
+        const auto b = via_nested.process_frame(f.sweeps.to_nested(), f.time_s);
+        ASSERT_EQ(a.raw.has_value(), b.raw.has_value());
+        ASSERT_EQ(a.smoothed.has_value(), b.smoothed.has_value());
+        if (a.smoothed) {
+            // Identical, not just close: both overloads run the same code
+            // on the same bits.
+            EXPECT_EQ(a.smoothed->position.x, b.smoothed->position.x);
+            EXPECT_EQ(a.smoothed->position.y, b.smoothed->position.y);
+            EXPECT_EQ(a.smoothed->position.z, b.smoothed->position.z);
+        }
+    }
+
+    // Latency accounting follows the same rules through both entry points.
+    EXPECT_EQ(via_buffer.frames_processed(), frames.size());
+    EXPECT_EQ(via_nested.frames_processed(), frames.size());
+    EXPECT_GT(via_buffer.mean_latency_s(), 0.0);
+    EXPECT_GT(via_nested.mean_latency_s(), 0.0);
+    EXPECT_GE(via_buffer.max_latency_s(), via_buffer.mean_latency_s());
+    EXPECT_GE(via_nested.max_latency_s(), via_nested.mean_latency_s());
+    EXPECT_EQ(via_buffer.track().size(), via_nested.track().size());
+    EXPECT_EQ(via_buffer.raw_track().size(), via_nested.raw_track().size());
+}
+
+}  // namespace
+}  // namespace witrack

@@ -231,9 +231,10 @@ TEST(ScenarioTest, ProducesExpectedFrameLayout) {
                       std::make_unique<StandStillScript>(Vec3{0, 5, 0}, 0.2));
     Scenario::Frame frame;
     ASSERT_TRUE(scenario.next(frame));
-    EXPECT_EQ(frame.sweeps.size(), config.fmcw.sweeps_per_frame);
-    EXPECT_EQ(frame.sweeps[0].size(), 3u);  // T array: 3 Rx
-    EXPECT_EQ(frame.sweeps[0][0].size(), config.fmcw.samples_per_sweep());
+    EXPECT_EQ(frame.sweeps.num_sweeps(), config.fmcw.sweeps_per_frame);
+    EXPECT_EQ(frame.sweeps.num_rx(), 3u);  // T array: 3 Rx
+    EXPECT_EQ(frame.sweeps.samples_per_sweep(), config.fmcw.samples_per_sweep());
+    EXPECT_EQ(frame.sweeps.sweep(0, 0).size(), config.fmcw.samples_per_sweep());
 }
 
 TEST(ScenarioTest, FastCaptureEmitsSingleSweep) {
@@ -243,7 +244,7 @@ TEST(ScenarioTest, FastCaptureEmitsSingleSweep) {
                       std::make_unique<StandStillScript>(Vec3{0, 5, 0}, 0.2));
     Scenario::Frame frame;
     ASSERT_TRUE(scenario.next(frame));
-    EXPECT_EQ(frame.sweeps.size(), 1u);
+    EXPECT_EQ(frame.sweeps.num_sweeps(), 1u);
 }
 
 TEST(ScenarioTest, EndsWithScript) {
@@ -285,8 +286,10 @@ TEST(ScenarioTest, DeterministicAcrossRuns) {
         Scenario::Frame frame;
         double checksum = 0.0;
         while (scenario.next(frame))
-            for (const auto& rx : frame.sweeps[0])
-                checksum += rx[100] + rx[2000];
+            for (std::size_t rx = 0; rx < frame.sweeps.num_rx(); ++rx) {
+                const auto row = frame.sweeps.sweep(rx, 0);
+                checksum += row[100] + row[2000];
+            }
         return checksum;
     };
     EXPECT_DOUBLE_EQ(run(), run());
