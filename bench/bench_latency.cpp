@@ -10,6 +10,8 @@
 #include <memory>
 
 #include "core/tracker.hpp"
+#include "engine/engine.hpp"
+#include "engine/sim_source.hpp"
 #include "geom/solver.hpp"
 #include "harness.hpp"
 
@@ -51,26 +53,31 @@ void BM_FullPipelineFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineFrame)->Unit(benchmark::kMillisecond);
 
-void BM_FullPipelineFrameNestedCompat(benchmark::State& state) {
-    // The legacy nested-vector entry point: measures what the conversion
-    // compatibility layer costs relative to the contiguous hot path above.
-    const auto& frames = captured_frames();
-    std::vector<std::vector<std::vector<std::vector<double>>>> nested;
-    nested.reserve(frames.size());
-    for (const auto& frame : frames) nested.push_back(frame.sweeps.to_nested());
-    core::PipelineConfig pipeline;
-    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
-    core::WiTrackTracker tracker(pipeline, array);
-    std::size_t i = 0;
-    double t = 0.0;
+void BM_EngineStep(benchmark::State& state) {
+    // Full engine step (source -> tracker -> event publish) against a
+    // subscribed bus: measures the engine's overhead relative to the bare
+    // tracker hot path above. Source capture dominates; the engine layer
+    // itself adds one virtual call and one event dispatch per frame.
+    engine::EngineConfig config;
+    config.with_seed(33).with_fast_capture(true);
+    std::size_t updates = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            tracker.process_frame(nested[i % nested.size()], t));
-        ++i;
-        t += 0.0125;
+        state.PauseTiming();
+        engine::SimSource source(config, std::make_unique<sim::LineWalkScript>(
+                                             geom::Vec3{-1, 5, 0},
+                                             geom::Vec3{1, 5, 0}, 2.0, 1.0));
+        engine::Engine eng(config, source);
+        eng.bus().subscribe<engine::TrackUpdateEvent>(
+            [&](const engine::TrackUpdateEvent&) { ++updates; });
+        state.ResumeTiming();
+        while (eng.step()) {
+        }
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(eng.frames_processed()));
     }
+    benchmark::DoNotOptimize(updates);
 }
-BENCHMARK(BM_FullPipelineFrameNestedCompat)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineStep)->Unit(benchmark::kMillisecond);
 
 void BM_RangeFftPerAntenna(benchmark::State& state) {
     const auto& frames = captured_frames();

@@ -1,49 +1,49 @@
 // Multi-person tracking extension (paper Section 10): two people walk
 // simultaneously; each antenna yields two TOFs, the candidate positions are
-// disambiguated by trajectory continuity.
+// disambiguated by trajectory continuity. The multi-person tracker runs as
+// an engine plugin publishing PersonsEvents.
 //
-// Build & run:  ./build/examples/multi_person
+// Build & run:  ./build/example_multi_person
 #include <cstdio>
 #include <memory>
 
-#include "core/multi.hpp"
-#include "core/tof.hpp"
-#include "sim/scenario.hpp"
+#include "engine/engine.hpp"
+#include "engine/plugins.hpp"
+#include "engine/sim_source.hpp"
 
 using namespace witrack;
 
 int main() {
-    sim::ScenarioConfig config;
-    config.through_wall = true;
-    config.second_person = true;
-    config.seed = 77;
+    engine::EngineConfig config;
+    config.with_through_wall(true)
+        .with_second_person(true)
+        .with_seed(77)
+        .with_contour_peaks(3);  // extract multiple echoes per antenna
 
     auto person1 = std::make_unique<sim::LineWalkScript>(
         geom::Vec3{-2.0, 4.0, 0}, geom::Vec3{-0.5, 6.5, 0}, 12.0, 1.0);
     auto person2 = std::make_unique<sim::LineWalkScript>(
         geom::Vec3{2.0, 6.5, 0}, geom::Vec3{0.8, 4.0, 0}, 12.0, 1.0);
-    sim::Scenario scenario(config, std::move(person1), std::move(person2));
+    engine::SimSource source(config, std::move(person1), std::move(person2));
 
-    core::PipelineConfig pipeline;
-    pipeline.fmcw = config.fmcw;
-    pipeline.contour_peaks = 3;  // extract multiple echoes per antenna
-    core::TofEstimator tof(pipeline, 3);
-    core::MultiPersonTracker tracker(pipeline, scenario.array(), 2);
+    engine::Engine eng(config, source);
+    eng.emplace_stage<engine::MultiPersonStage>(2);
 
     std::printf("time    person A est      truth        person B est      truth\n");
     std::printf("----------------------------------------------------------------\n");
-    sim::Scenario::Frame frame;
     int index = 0;
-    while (scenario.next(frame)) {
-        const auto tof_frame = tof.process_frame(frame.sweeps, frame.time_s);
-        const auto people = tracker.process(tof_frame, frame.time_s);
-        if (++index % 80 != 0 || people.size() < 2 || !frame.pose2) continue;
+    eng.bus().subscribe<engine::PersonsEvent>([&](const engine::PersonsEvent& event) {
+        if (++index % 80 != 0 || event.people.size() < 2) return;
+        if (!event.truth || !event.truth->position2) return;
+        const auto& a = event.people[0].position;
+        const auto& b = event.people[1].position;
+        const auto& t1 = event.truth->position;
+        const auto& t2 = *event.truth->position2;
         std::printf("%4.1f s  (%5.2f, %5.2f)  (%5.2f, %5.2f)   (%5.2f, %5.2f)  (%5.2f, %5.2f)\n",
-                    frame.time_s, people[0].position.x, people[0].position.y,
-                    frame.pose.center.x, frame.pose.center.y,
-                    people[1].position.x, people[1].position.y,
-                    frame.pose2->center.x, frame.pose2->center.y);
-    }
+                    event.time_s, a.x, a.y, t1.x, t1.y, b.x, b.y, t2.x, t2.y);
+    });
+    eng.run();
+
     std::printf("\nNote: with two movers, track identity can swap when the paths\n"
                 "cross; the paper (Section 10) leaves full multi-person tracking\n"
                 "to future work and so does this extension.\n");

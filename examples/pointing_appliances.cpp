@@ -2,19 +2,20 @@
 // monitor on or turn the lights off by simply pointing at these objects."
 //
 // A user stands in the room and points at each of three instrumented
-// appliances in turn; WiTrack estimates the pointing direction from the arm
-// lift/drop gesture and toggles the matched appliance through the (mock)
-// Insteon driver.
+// appliances in turn. Each gesture streams through the engine's pointing
+// plugin, which publishes a PointingEvent; the ApplianceController plugin
+// subscribes to it and toggles the matched appliance through the (mock)
+// Insteon driver -- application logic composed entirely over the event bus.
 //
-// Build & run:  ./build/examples/pointing_appliances
+// Build & run:  ./build/example_pointing_appliances
 #include <cstdio>
 #include <memory>
 
 #include "apps/appliances.hpp"
 #include "common/units.hpp"
-#include "core/pointing.hpp"
-#include "core/tof.hpp"
-#include "sim/scenario.hpp"
+#include "engine/engine.hpp"
+#include "engine/plugins.hpp"
+#include "engine/sim_source.hpp"
 
 using namespace witrack;
 
@@ -39,31 +40,30 @@ int main() {
     int correct = 0;
     std::uint64_t gesture_seed = 3;
     for (const auto& target : registry.appliances()) {
-        // One gesture toward this appliance.
-        sim::ScenarioConfig config;
-        config.through_wall = true;
-        config.seed = 100 + gesture_seed;
+        // One gesture toward this appliance, streamed through its own engine.
+        engine::EngineConfig config;
+        config.with_through_wall(true).with_seed(100 + gesture_seed);
         const geom::Vec3 dir = (target.position - shoulder).normalized();
-        sim::Scenario scenario(config, std::make_unique<sim::PointingScript>(
-                                           stand, dir, Rng(gesture_seed)));
+        engine::SimSource source(config, std::make_unique<sim::PointingScript>(
+                                             stand, dir, Rng(gesture_seed)));
         gesture_seed += 11;
 
-        core::PipelineConfig pipeline;
-        pipeline.fmcw = config.fmcw;
-        core::TofEstimator tof(pipeline, 3);
-        std::vector<core::TofFrame> frames;
-        sim::Scenario::Frame frame;
-        while (scenario.next(frame))
-            frames.push_back(tof.process_frame(frame.sweeps, frame.time_s));
+        engine::Engine eng(config, source);
+        eng.emplace_stage<engine::PointingStage>();
+        const auto& controller =
+            eng.emplace_stage<engine::ApplianceController>(registry, driver);
 
-        core::PointingEstimator estimator(pipeline, scenario.array());
-        const auto pointing = estimator.analyze(frames);
+        std::optional<core::PointingResult> pointing;
+        eng.bus().subscribe<engine::PointingEvent>(
+            [&](const engine::PointingEvent& event) { pointing = event.pointing; });
+        eng.run();
+
         std::printf("pointing toward '%s': ", target.name.c_str());
         if (!pointing) {
             std::printf("gesture not detected\n");
             continue;
         }
-        const auto actuated = registry.actuate(*pointing, driver);
+        const auto& actuated = controller.last_actuated();
         const double err_deg = rad_to_deg(geom::angle_between(pointing->direction, dir));
         std::printf("azimuth %+.1f deg (err %.0f deg) -> %s\n",
                     rad_to_deg(pointing->azimuth_rad), err_deg,

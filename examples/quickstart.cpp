@@ -1,54 +1,51 @@
 // Quickstart: track a person walking behind a wall and print the 3D track.
 //
-// This is the minimal end-to-end use of the library:
-//   1. describe the deployment (through-wall room, T antenna array),
-//   2. stream baseband frames (here from the simulator; on real hardware,
-//      from the FMCW front end),
-//   3. feed them to WiTrackTracker and consume 3D positions.
+// This is the minimal end-to-end use of the library's streaming Engine:
+//   1. describe the deployment once with EngineConfig,
+//   2. pick a FrameSource (here the simulator; swap in ReplaySource or
+//      LiveSource without touching anything below),
+//   3. subscribe to TrackUpdateEvents and run.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 #include <cstdio>
 #include <memory>
 
-#include "core/tracker.hpp"
-#include "sim/scenario.hpp"
+#include "engine/engine.hpp"
+#include "engine/sim_source.hpp"
 
 using namespace witrack;
 
 int main() {
     // --- 1. Deployment: device behind the wall, person walking inside. ---
-    sim::ScenarioConfig config;
-    config.through_wall = true;
-    config.seed = 2024;
+    engine::EngineConfig config;
+    config.with_through_wall(true).with_seed(2024);
 
+    // --- 2. Source: simulate a 10 s random walk through the lab. ---
     const auto env = sim::make_through_wall_lab();
-    Rng rng(2024);
-    auto walk = std::make_unique<sim::RandomWaypointWalk>(env.bounds, 10.0, rng);
-    sim::Scenario scenario(config, std::move(walk));
+    engine::SimSource source(config, std::make_unique<sim::RandomWaypointWalk>(
+                                         env.bounds, 10.0, Rng(2024)));
 
-    // --- 2. Pipeline configured from the same FMCW parameters. ---
-    core::PipelineConfig pipeline;
-    pipeline.fmcw = config.fmcw;
-    core::WiTrackTracker tracker(pipeline, scenario.array());
+    // --- 3. Engine: subscribe to track updates and stream. ---
+    engine::Engine eng(config, source);
 
-    // --- 3. Stream frames and print the live track twice a second. ---
     std::printf("time     estimate (x, y, z)         truth (x, y, z)        err\n");
     std::printf("----------------------------------------------------------------\n");
-    sim::Scenario::Frame frame;
     int frame_index = 0;
-    while (scenario.next(frame)) {
-        const auto result = tracker.process_frame(frame.sweeps, frame.time_s);
-        if (result.smoothed && ++frame_index % 40 == 0) {
-            const auto& p = result.smoothed->position;
-            const auto& t = frame.pose.center;
+    eng.bus().subscribe<engine::TrackUpdateEvent>(
+        [&](const engine::TrackUpdateEvent& event) {
+            // truth is absent on live (hardware) sources; guard so the
+            // subscriber survives a source swap unchanged.
+            if (!event.smoothed || !event.truth || ++frame_index % 40 != 0) return;
+            const auto& p = event.smoothed->position;
+            const auto& t = event.truth->position;
             std::printf("%5.1f s  (%5.2f, %5.2f, %5.2f) m   (%5.2f, %5.2f, %5.2f) m  %4.0f cm\n",
-                        frame.time_s, p.x, p.y, p.z, t.x, t.y, t.z,
+                        event.time_s, p.x, p.y, p.z, t.x, t.y, t.z,
                         p.distance_to(t) * 100.0);
-        }
-    }
+        });
+    eng.run();
 
     std::printf("\nProcessed %zu frames; mean pipeline latency %.1f ms "
                 "(paper budget: < 75 ms)\n",
-                tracker.frames_processed(), tracker.mean_latency_s() * 1e3);
+                eng.frames_processed(), eng.tracker().mean_latency_s() * 1e3);
     return 0;
 }

@@ -2,15 +2,17 @@
 // first application, Section 1): a user moves freely in the next room and
 // the system renders a live top-down "minimap" of her position -- the
 // primitive a Kinect-style system would consume beyond line of sight.
+// The renderer is a pure TrackUpdateEvent subscriber.
 //
-// Build & run:  ./build/examples/through_wall_gaming
+// Build & run:  ./build/example_through_wall_gaming
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "core/tracker.hpp"
 #include "dsp/stats.hpp"
-#include "sim/scenario.hpp"
+#include "engine/engine.hpp"
+#include "engine/sim_source.hpp"
 
 using namespace witrack;
 
@@ -39,30 +41,27 @@ void render_map(const geom::Vec3& estimate, const geom::Vec3& truth) {
 }  // namespace
 
 int main() {
-    sim::ScenarioConfig config;
-    config.through_wall = true;
-    config.seed = 55;
+    engine::EngineConfig config;
+    config.with_through_wall(true).with_seed(55);
     const auto env = sim::make_through_wall_lab();
-    Rng rng(55);
-    sim::Scenario scenario(config, std::make_unique<sim::RandomWaypointWalk>(
-                                       env.bounds, 12.0, rng));
+    engine::SimSource source(config, std::make_unique<sim::RandomWaypointWalk>(
+                                         env.bounds, 12.0, Rng(55)));
 
-    core::PipelineConfig pipeline;
-    pipeline.fmcw = config.fmcw;
-    core::WiTrackTracker tracker(pipeline, scenario.array());
-
+    engine::Engine eng(config, source);
     std::vector<double> errors;
-    sim::Scenario::Frame frame;
     int index = 0;
-    while (scenario.next(frame)) {
-        const auto result = tracker.process_frame(frame.sweeps, frame.time_s);
-        if (!result.smoothed) continue;
-        errors.push_back(result.smoothed->position.distance_to(frame.pose.center));
-        if (++index % 240 == 0) {  // a map snapshot every 3 seconds
-            std::printf("\n  t = %.1f s\n", frame.time_s);
-            render_map(result.smoothed->position, frame.pose.center);
-        }
-    }
+    eng.bus().subscribe<engine::TrackUpdateEvent>(
+        [&](const engine::TrackUpdateEvent& event) {
+            if (!event.smoothed || !event.truth) return;
+            const auto& est = event.smoothed->position;
+            const auto& truth = event.truth->position;
+            errors.push_back(est.distance_to(truth));
+            if (++index % 240 == 0) {  // a map snapshot every 3 seconds
+                std::printf("\n  t = %.1f s\n", event.time_s);
+                render_map(est, truth);
+            }
+        });
+    eng.run();
 
     std::printf("\nTracked %zu frames through the wall; median 3D error %.0f cm "
                 "(paper: ~13/10/21 cm per axis)\n",

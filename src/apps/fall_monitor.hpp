@@ -1,8 +1,11 @@
 // Streaming fall monitor: wraps the tracker's elevation stream with the
 // fall detector and fires a callback on detected falls -- the elderly
-// monitoring application of paper Section 1 / 6.2.
+// monitoring application of paper Section 1 / 6.2. Inside the streaming
+// engine it runs as engine::FallMonitorStage, which feeds it every raw
+// track point and publishes each alert as a FallEvent.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -15,25 +18,40 @@ class FallMonitor {
   public:
     using FallCallback = std::function<void(const core::FallDetector::Analysis&)>;
 
-    explicit FallMonitor(core::FallDetectorConfig config = core::FallDetectorConfig{})
-        : detector_(config) {}
+    /// `max_alerts` bounds the retained alert history: a monitor that runs
+    /// for months keeps the most recent alerts and drops the oldest, so
+    /// memory stays constant. 0 keeps everything (short offline episodes).
+    explicit FallMonitor(core::FallDetectorConfig config = core::FallDetectorConfig{},
+                         std::size_t max_alerts = 64)
+        : detector_(config), max_alerts_(max_alerts) {}
 
     void on_fall(FallCallback callback) { callback_ = std::move(callback); }
 
-    /// Feed each smoothed track point; invokes the callback on detection.
+    /// Feed each raw track point; invokes the callback on detection.
     void push(const core::TrackPoint& point) {
         const auto analysis = detector_.push(point);
         if (analysis) {
+            if (max_alerts_ > 0 && alerts_.size() >= max_alerts_)
+                alerts_.erase(alerts_.begin());  // ring: drop the oldest
             alerts_.push_back(*analysis);
+            ++total_alerts_;
             if (callback_) callback_(*analysis);
         }
     }
 
+    /// The most recent alerts (bounded by max_alerts).
     const std::vector<core::FallDetector::Analysis>& alerts() const { return alerts_; }
+
+    /// Lifetime alert count (keeps counting after the ring wraps).
+    std::size_t total_alerts() const { return total_alerts_; }
+
+    std::size_t max_alerts() const { return max_alerts_; }
 
   private:
     core::FallDetector detector_;
     FallCallback callback_;
+    std::size_t max_alerts_;
+    std::size_t total_alerts_ = 0;
     std::vector<core::FallDetector::Analysis> alerts_;
 };
 

@@ -80,6 +80,13 @@ struct PipelineConfig {
     /// Number of closest local maxima extracted per frame (1 for single-
     /// person tracking; 2+ enables the multi-person extension).
     std::size_t contour_peaks = 1;
+
+    /// Upper bound on the tracker's retained history (smoothed and raw
+    /// track points). 0 keeps everything -- right for offline episode
+    /// analysis; long-running deployments set a cap so memory stays
+    /// bounded. Trimming drops the oldest points in amortized O(1) blocks,
+    /// so between trims up to 2x the cap may be briefly retained.
+    std::size_t max_track_history = 0;
 };
 
 }  // namespace witrack::core

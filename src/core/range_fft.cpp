@@ -39,25 +39,6 @@ void SweepProcessor::transform(RangeProfile& out) {
     out.usable_bins = fft_size_ / 2;
 }
 
-RangeProfile SweepProcessor::process(const std::vector<std::vector<double>>& sweeps) {
-    const std::size_t n = fmcw_.samples_per_sweep();
-    if (sweeps.empty()) throw std::invalid_argument("SweepProcessor: no sweeps");
-    for (const auto& s : sweeps)
-        if (s.size() != n)
-            throw std::invalid_argument("SweepProcessor: sweep length mismatch");
-
-    // Coherent time-domain average, windowed, zero-padded to the FFT size.
-    std::fill(averaged_.begin(), averaged_.end(), 0.0);
-    const double scale = 1.0 / static_cast<double>(sweeps.size());
-    for (const auto& sweep : sweeps)
-        for (std::size_t i = 0; i < n; ++i) averaged_[i] += sweep[i] * scale;
-    for (std::size_t i = 0; i < n; ++i) averaged_[i] *= window_[i];
-
-    RangeProfile profile;
-    transform(profile);
-    return profile;
-}
-
 void SweepProcessor::process_into(std::span<const double> sweeps,
                                   std::size_t sweep_count, RangeProfile& out) {
     const std::size_t n = fmcw_.samples_per_sweep();

@@ -31,10 +31,9 @@ struct RangeProfile {
     double bin_of_round_trip(double m) const { return m / bin_round_trip_m; }
 };
 
-/// Not const-callable and not thread-safe: all entry points (including the
-/// legacy process()) reuse the owned averaging buffer and FFT scratch, and
-/// the FFT plan makes the class move-only. Use one SweepProcessor per
-/// thread.
+/// Not const-callable and not thread-safe: both entry points reuse the
+/// owned averaging buffer and FFT scratch, and the FFT plan makes the class
+/// move-only. Use one SweepProcessor per thread.
 class SweepProcessor {
   public:
     /// fft_size 0 = exactly one sweep (paper-literal); larger values
@@ -42,15 +41,11 @@ class SweepProcessor {
     SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
                    std::size_t fft_size = 0);
 
-    /// Average the given sweeps (each samples_per_sweep long) and transform.
+    /// Average and transform `sweep_count` back-to-back sweeps of
+    /// samples_per_sweep() doubles (e.g. FrameBuffer::antenna), writing into
+    /// `out` and reusing its storage -- no heap allocation at steady state.
     /// Accepts any sweep count >= 1 (the fast-capture path supplies an
-    /// already-averaged single sweep). Compatibility entry point: same
-    /// spectra, bit for bit, as the contiguous overloads below.
-    RangeProfile process(const std::vector<std::vector<double>>& sweeps);
-
-    /// Contiguous equivalent: `sweeps` holds sweep_count back-to-back sweeps
-    /// of samples_per_sweep() doubles (e.g. FrameBuffer::antenna). Writes
-    /// into `out`, reusing its storage -- no heap allocation at steady state.
+    /// already-averaged single sweep).
     void process_into(std::span<const double> sweeps, std::size_t sweep_count,
                       RangeProfile& out);
 

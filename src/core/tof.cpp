@@ -31,11 +31,6 @@ void TofEstimator::train_background(const FrameBuffer& frame) {
     }
 }
 
-void TofEstimator::train_background(
-    const std::vector<std::vector<std::vector<double>>>& sweeps) {
-    train_background(FrameBuffer::from_nested(sweeps));
-}
-
 TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
     if (frame.num_rx() < per_rx_.size())
         throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
@@ -90,11 +85,6 @@ TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
         if (config_.record_profiles) out.profile = magnitude;
     }
     return out_frame;
-}
-
-TofFrame TofEstimator::process_frame(
-    const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
-    return process_frame(FrameBuffer::from_nested(sweeps), time_s);
 }
 
 void TofEstimator::reset() {

@@ -70,18 +70,13 @@ class TofEstimator {
 
     /// Process one frame of raw sweeps (contiguous rx-major storage). This
     /// is the realtime hot path: zero heap allocations at steady state.
+    /// FrameBuffer is the only ingestion type.
     TofFrame process_frame(const FrameBuffer& frame, double time_s);
-
-    /// Compatibility overload for the legacy nested layout
-    /// sweeps[sweep][rx][sample]; copies into a FrameBuffer and delegates.
-    TofFrame process_frame(const std::vector<std::vector<std::vector<double>>>& sweeps,
-                           double time_s);
 
     /// Static-training extension: learn the empty scene from these frames
     /// (switches the background mode for all antennas).
     void enable_static_training();
     void train_background(const FrameBuffer& frame);
-    void train_background(const std::vector<std::vector<std::vector<double>>>& sweeps);
 
     const PipelineConfig& config() const { return config_; }
     std::size_t num_rx() const { return per_rx_.size(); }

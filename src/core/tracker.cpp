@@ -13,11 +13,6 @@ WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
       position_filter_(config.position_process_noise,
                        config.position_measurement_noise) {}
 
-WiTrackTracker::FrameResult WiTrackTracker::process_frame(
-    const std::vector<std::vector<std::vector<double>>>& sweeps, double time_s) {
-    return process_frame(FrameBuffer::from_nested(sweeps), time_s);
-}
-
 WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& frame,
                                                           double time_s) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -39,6 +34,8 @@ WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& fra
         point.position = {smoothed.x, smoothed.y, smoothed.z};
         result.smoothed = point;
         track_.push_back(point);
+        trim_history(raw_track_);
+        trim_history(track_);
     }
 
     const auto t1 = std::chrono::steady_clock::now();
@@ -47,6 +44,15 @@ WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& fra
     max_latency_s_ = std::max(max_latency_s_, result.processing_seconds);
     ++frames_;
     return result;
+}
+
+void WiTrackTracker::trim_history(std::vector<TrackPoint>& track) {
+    // Trim only once the history doubles the cap, so each erase moves cap
+    // elements after cap insertions: amortized O(1) per frame.
+    const std::size_t cap = config_.max_track_history;
+    if (cap == 0 || track.size() < 2 * cap) return;
+    track.erase(track.begin(),
+                track.begin() + static_cast<std::ptrdiff_t>(track.size() - cap));
 }
 
 double WiTrackTracker::mean_latency_s() const {

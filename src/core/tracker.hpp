@@ -28,16 +28,11 @@ class WiTrackTracker {
     };
 
     /// Process one frame of sweeps (contiguous rx-major storage). This is
-    /// the realtime hot path.
+    /// the realtime hot path; FrameBuffer is the only ingestion type.
     FrameResult process_frame(const FrameBuffer& frame, double time_s);
 
-    /// Compatibility overload for the legacy nested layout
-    /// sweeps[sweep][rx][sample]; copies into a FrameBuffer and delegates,
-    /// so both entry points produce identical tracks.
-    FrameResult process_frame(const std::vector<std::vector<std::vector<double>>>& sweeps,
-                              double time_s);
-
-    /// All smoothed track points so far.
+    /// All smoothed track points so far (bounded by
+    /// PipelineConfig::max_track_history when a cap is set).
     const std::vector<TrackPoint>& track() const { return track_; }
 
     /// Unsmoothed per-frame solver outputs. Fast transients (a fall takes
@@ -55,6 +50,9 @@ class WiTrackTracker {
     void reset();
 
   private:
+    /// Enforce max_track_history with amortized O(1) block trimming.
+    void trim_history(std::vector<TrackPoint>& track);
+
     PipelineConfig config_;
     TofEstimator tof_;
     Localizer localizer_;

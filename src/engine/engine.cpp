@@ -1,0 +1,81 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace witrack::engine {
+
+Engine::Engine(EngineConfig config, FrameSource& source)
+    : config_(std::move(config)),
+      pipeline_([&] {
+          // The source knows the FMCW parameters its sweeps were captured
+          // with (a replayed recording carries its own); they override the
+          // config so the pipeline can never process with the wrong sweep
+          // geometry.
+          auto pipeline = config_.pipeline_config();
+          pipeline.fmcw = source.fmcw();
+          return pipeline;
+      }()),
+      source_(&source),
+      tracker_(pipeline_, source.array()) {
+    // Keep the stored config coherent with the resolved pipeline: stages
+    // and subscribers reading config().fmcw must see what the pipeline
+    // actually runs with.
+    config_.fmcw = pipeline_.fmcw;
+}
+
+void Engine::add_stage(std::unique_ptr<AppStage> stage) {
+    const StageContext context{config_, pipeline_, source_->array()};
+    stage->attach(context, bus_);
+    stage_stats_.push_back(StageStats{std::string(stage->name()), 0, 0.0, 0.0});
+    stages_.push_back(std::move(stage));
+}
+
+bool Engine::step() {
+    if (!source_->next(frame_)) return false;
+
+    const auto result = tracker_.process_frame(frame_.sweeps, frame_.time_s);
+
+    TrackUpdateEvent update;
+    update.time_s = frame_.time_s;
+    update.motion_detected = result.tof.motion_detected();
+    update.raw = result.raw;
+    update.smoothed = result.smoothed;
+    update.processing_seconds = result.processing_seconds;
+    update.truth = frame_.truth;
+    bus_.publish(update);
+
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        stages_[i]->on_frame(frame_, result, bus_);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+        auto& stats = stage_stats_[i];
+        ++stats.frames;
+        stats.total_s += elapsed;
+        stats.max_s = std::max(stats.max_s, elapsed);
+    }
+
+    ++frames_;
+    return true;
+}
+
+std::size_t Engine::run() {
+    std::size_t processed = 0;
+    while (step()) ++processed;
+    // Stages finish once per Engine: a second run() (or run() after a
+    // manual step() loop) must not re-publish episode events.
+    if (finished_) return processed;
+    finished_ = true;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        stages_[i]->finish(bus_);
+        const auto t1 = std::chrono::steady_clock::now();
+        // Episode-scoped work (e.g. the pointing analysis) is accounted
+        // separately so the per-frame mean/max stay meaningful.
+        stage_stats_[i].finish_s += std::chrono::duration<double>(t1 - t0).count();
+    }
+    return processed;
+}
+
+}  // namespace witrack::engine

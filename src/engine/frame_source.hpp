@@ -1,0 +1,47 @@
+// The one ingestion seam of the streaming engine: every producer of
+// baseband frames -- the simulator, a recorded session on disk, or the FMCW
+// hardware front end -- implements FrameSource, and everything downstream
+// (Engine, Recorder, tests) consumes frames through it without knowing
+// which world they came from.
+#pragma once
+
+#include <optional>
+
+#include "common/constants.hpp"
+#include "common/frame_buffer.hpp"
+#include "geom/array_geometry.hpp"
+
+namespace witrack::engine {
+
+/// Reference positions for evaluation. The simulator fills them from the
+/// motion script (the paper's VICON stand-in) and the replay format
+/// preserves them; live hardware leaves them empty.
+struct GroundTruth {
+    geom::Vec3 position;                    ///< person 1 body centre
+    std::optional<geom::Vec3> position2;    ///< person 2, if present
+};
+
+/// One frame of baseband sweeps plus capture metadata. The FrameBuffer is
+/// reused across next() calls, so a long-lived Frame keeps the streaming
+/// loop allocation-free at steady state.
+struct Frame {
+    double time_s = 0.0;
+    FrameBuffer sweeps;                 ///< contiguous rx-major baseband
+    std::optional<GroundTruth> truth;   ///< evaluation reference, if known
+};
+
+class FrameSource {
+  public:
+    virtual ~FrameSource() = default;
+
+    /// Produce the next frame into `frame`; false when the stream has ended.
+    virtual bool next(Frame& frame) = 0;
+
+    /// Antenna geometry of the deployment this stream was captured with.
+    virtual const geom::ArrayGeometry& array() const = 0;
+
+    /// FMCW parameters the sweeps were generated with.
+    virtual const FmcwParams& fmcw() const = 0;
+};
+
+}  // namespace witrack::engine

@@ -1,0 +1,46 @@
+#include "engine/live_source.hpp"
+
+#include <utility>
+
+namespace witrack::engine {
+
+hw::FrontendConfig make_frontend_config(const EngineConfig& config) {
+    hw::FrontendConfig frontend;
+    frontend.fmcw = config.fmcw;
+    frontend.noise = config.noise;
+    return frontend;
+}
+
+LiveSource::LiveSource(hw::FmcwFrontend& frontend, geom::ArrayGeometry array,
+                       double duration_s, BodyProvider provider)
+    : frontend_(&frontend),
+      array_(std::move(array)),
+      duration_s_(duration_s),
+      provider_(std::move(provider)) {}
+
+bool LiveSource::next(Frame& frame) {
+    const auto& params = frontend_->params();
+    const double time_s =
+        static_cast<double>(frame_index_) * params.frame_duration_s();
+    if (time_s >= duration_s_) return false;
+
+    frame.time_s = time_s;
+    frame.truth.reset();  // hardware has no ground truth
+
+    const std::size_t sweeps = params.sweeps_per_frame;
+    const std::size_t samples = params.samples_per_sweep();
+    if (frame.sweeps.num_rx() != frontend_->num_rx() ||
+        frame.sweeps.num_sweeps() != sweeps ||
+        frame.sweeps.samples_per_sweep() != samples)
+        frame.sweeps.resize(frontend_->num_rx(), sweeps, samples);
+
+    const std::vector<rf::BodyScatterer> body =
+        provider_ ? provider_(time_s) : std::vector<rf::BodyScatterer>{};
+    for (std::size_t s = 0; s < sweeps; ++s)
+        frontend_->capture_sweep_into(frame.sweeps, s, body);
+
+    ++frame_index_;
+    return true;
+}
+
+}  // namespace witrack::engine

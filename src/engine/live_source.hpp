@@ -1,0 +1,49 @@
+// FrameSource over the FMCW hardware front end: the ingest path a real
+// deployment uses. The source drives hw::FmcwFrontend sweep by sweep into
+// the reused FrameBuffer -- exactly what a USRP capture thread would do --
+// so swapping SimSource for LiveSource changes nothing downstream.
+//
+// In this repository the "hardware" is the simulated front end, so the
+// scene content is injected through a BodyProvider callback; on real
+// hardware the provider disappears and capture_sweep_into reads the ADC.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "engine/frame_source.hpp"
+#include "hw/frontend.hpp"
+
+namespace witrack::engine {
+
+/// Build the front-end configuration for a deployment described by
+/// EngineConfig (nonlinearity is left to the caller: deriving it runs the
+/// VCO+PLL simulation, which LiveSource must not silently repeat).
+hw::FrontendConfig make_frontend_config(const EngineConfig& config);
+
+class LiveSource : public FrameSource {
+  public:
+    /// Scatterer constellation present during a frame (empty = empty room).
+    using BodyProvider =
+        std::function<std::vector<rf::BodyScatterer>(double time_s)>;
+
+    /// Stream `duration_s` worth of frames from `frontend`. The frontend is
+    /// borrowed and must outlive the source.
+    LiveSource(hw::FmcwFrontend& frontend, geom::ArrayGeometry array,
+               double duration_s, BodyProvider provider = {});
+
+    bool next(Frame& frame) override;
+    const geom::ArrayGeometry& array() const override { return array_; }
+    const FmcwParams& fmcw() const override { return frontend_->params(); }
+
+  private:
+    hw::FmcwFrontend* frontend_;
+    geom::ArrayGeometry array_;
+    double duration_s_;
+    BodyProvider provider_;
+    std::size_t frame_index_ = 0;
+};
+
+}  // namespace witrack::engine

@@ -1,0 +1,77 @@
+#include "engine/plugins.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace witrack::engine {
+
+// ------------------------------------------------------- FallMonitorStage
+
+void FallMonitorStage::on_frame(const Frame& frame,
+                                const core::WiTrackTracker::FrameResult& result,
+                                EventBus& bus) {
+    if (!result.raw) return;
+    // The raw (unsmoothed) track preserves the ~0.4 s fall transient that
+    // position smoothing would blur away.
+    const std::size_t before = monitor_.total_alerts();
+    monitor_.push(*result.raw);
+    if (monitor_.total_alerts() > before)
+        bus.publish(FallEvent{frame.time_s, monitor_.alerts().back()});
+}
+
+// ---------------------------------------------------------- PointingStage
+
+void PointingStage::attach(const StageContext& context, EventBus& bus) {
+    (void)bus;
+    estimator_.emplace(context.pipeline, context.array, config_);
+    frames_.clear();
+}
+
+void PointingStage::on_frame(const Frame& frame,
+                             const core::WiTrackTracker::FrameResult& result,
+                             EventBus& bus) {
+    (void)frame;
+    (void)bus;
+    frames_.push_back(result.tof);
+    // Sliding window: trim in blocks once the history doubles the cap, so
+    // an endless live stream stays bounded at amortized O(1) per frame.
+    if (max_frames_ > 0 && frames_.size() >= 2 * max_frames_)
+        frames_.erase(frames_.begin(),
+                      frames_.begin() +
+                          static_cast<std::ptrdiff_t>(frames_.size() - max_frames_));
+}
+
+void PointingStage::finish(EventBus& bus) {
+    if (!estimator_) return;
+    if (const auto pointing = estimator_->analyze(frames_))
+        bus.publish(PointingEvent{*pointing});
+}
+
+// ---------------------------------------------------- ApplianceController
+
+void ApplianceController::attach(const StageContext& context, EventBus& bus) {
+    (void)context;
+    bus.subscribe<PointingEvent>([this](const PointingEvent& event) {
+        last_actuated_ = registry_->actuate(event.pointing, *driver_);
+    });
+}
+
+// ------------------------------------------------------- MultiPersonStage
+
+void MultiPersonStage::attach(const StageContext& context, EventBus& bus) {
+    (void)bus;
+    if (context.pipeline.contour_peaks < max_people_)
+        throw std::invalid_argument(
+            "MultiPersonStage: pipeline.contour_peaks must be >= max_people "
+            "(use EngineConfig::with_contour_peaks)");
+    tracker_.emplace(context.pipeline, context.array, max_people_);
+}
+
+void MultiPersonStage::on_frame(const Frame& frame,
+                                const core::WiTrackTracker::FrameResult& result,
+                                EventBus& bus) {
+    auto people = tracker_->process(result.tof, frame.time_s);
+    bus.publish(PersonsEvent{frame.time_s, std::move(people), frame.truth});
+}
+
+}  // namespace witrack::engine

@@ -1,0 +1,43 @@
+#include "engine/sim_source.hpp"
+
+#include <utility>
+
+namespace witrack::engine {
+
+sim::ScenarioConfig make_scenario_config(const EngineConfig& config) {
+    sim::ScenarioConfig scenario;
+    scenario.fmcw = config.fmcw;
+    scenario.through_wall = config.through_wall;
+    scenario.antenna_separation_m = config.antenna_separation_m;
+    scenario.device_height_m = config.device_height_m;
+    scenario.noise = config.noise;
+    scenario.seed = config.seed;
+    scenario.fast_capture = config.fast_capture;
+    scenario.model_sweep_nonlinearity = config.model_sweep_nonlinearity;
+    scenario.second_person = config.second_person;
+    return scenario;
+}
+
+SimSource::SimSource(const EngineConfig& config,
+                     std::unique_ptr<sim::MotionScript> script,
+                     std::unique_ptr<sim::MotionScript> second_script)
+    : scenario_(std::make_unique<sim::Scenario>(make_scenario_config(config),
+                                                std::move(script),
+                                                std::move(second_script))) {}
+
+SimSource::SimSource(std::unique_ptr<sim::Scenario> scenario)
+    : scenario_(std::move(scenario)) {}
+
+bool SimSource::next(Frame& frame) {
+    sim::Pose pose;
+    std::optional<sim::Pose> pose2;
+    if (!scenario_->next_into(frame.time_s, frame.sweeps, pose, pose2))
+        return false;
+    GroundTruth truth;
+    truth.position = pose.center;
+    if (pose2) truth.position2 = pose2->center;
+    frame.truth = truth;
+    return true;
+}
+
+}  // namespace witrack::engine

@@ -1,0 +1,39 @@
+// FrameSource over the simulator: wraps sim::Scenario, translating the one
+// EngineConfig into the ScenarioConfig the simulator expects and forwarding
+// ground-truth poses so subscribers can evaluate tracking error live.
+#pragma once
+
+#include <memory>
+
+#include "engine/config.hpp"
+#include "engine/frame_source.hpp"
+#include "sim/motion.hpp"
+#include "sim/scenario.hpp"
+
+namespace witrack::engine {
+
+/// Build the simulator configuration for a deployment described by
+/// EngineConfig (the single place the two config types meet).
+sim::ScenarioConfig make_scenario_config(const EngineConfig& config);
+
+class SimSource : public FrameSource {
+  public:
+    /// Simulate `script` (and optionally a second person) under the
+    /// deployment described by `config`.
+    SimSource(const EngineConfig& config, std::unique_ptr<sim::MotionScript> script,
+              std::unique_ptr<sim::MotionScript> second_script = nullptr);
+
+    /// Escape hatch for a fully customized scenario.
+    explicit SimSource(std::unique_ptr<sim::Scenario> scenario);
+
+    bool next(Frame& frame) override;
+    const geom::ArrayGeometry& array() const override { return scenario_->array(); }
+    const FmcwParams& fmcw() const override { return scenario_->config().fmcw; }
+
+    const sim::Scenario& scenario() const { return *scenario_; }
+
+  private:
+    std::unique_ptr<sim::Scenario> scenario_;
+};
+
+}  // namespace witrack::engine

@@ -1,0 +1,50 @@
+// Pluggable application stages. An AppStage is the engine-resident form of
+// an application (fall monitoring, pointing control, multi-person): it sees
+// every processed frame, keeps whatever state it needs, and talks to the
+// rest of the world exclusively through the event bus.
+#pragma once
+
+#include <string_view>
+
+#include "core/tracker.hpp"
+#include "engine/config.hpp"
+#include "engine/events.hpp"
+#include "engine/frame_source.hpp"
+
+namespace witrack::engine {
+
+/// Everything a stage may need to build its own estimators, valid for the
+/// lifetime of the Engine that attached it.
+struct StageContext {
+    const EngineConfig& config;
+    const core::PipelineConfig& pipeline;   ///< resolved (fmcw applied)
+    const geom::ArrayGeometry& array;
+};
+
+class AppStage {
+  public:
+    virtual ~AppStage() = default;
+
+    /// Stable name used in per-stage latency accounting.
+    virtual std::string_view name() const = 0;
+
+    /// Called once when the stage is added to an Engine; build estimators
+    /// from the context and register any event subscriptions here.
+    virtual void attach(const StageContext& context, EventBus& bus) {
+        (void)context;
+        (void)bus;
+    }
+
+    /// Called for every processed frame, after the Engine has published its
+    /// TrackUpdateEvent. `result` carries the full per-frame pipeline
+    /// output (TOF observations, raw and smoothed positions).
+    virtual void on_frame(const Frame& frame,
+                          const core::WiTrackTracker::FrameResult& result,
+                          EventBus& bus) = 0;
+
+    /// Called once when the source is exhausted (Engine::run) so
+    /// episode-scoped stages (e.g. pointing) can publish their verdict.
+    virtual void finish(EventBus& bus) { (void)bus; }
+};
+
+}  // namespace witrack::engine

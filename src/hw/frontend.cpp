@@ -61,18 +61,4 @@ void FmcwFrontend::capture_sweep_into(witrack::FrameBuffer& frame,
     }
 }
 
-std::vector<std::vector<double>> FmcwFrontend::capture_sweep(
-    std::span<const BodyScatterer> body) {
-    witrack::FrameBuffer frame(channel_.num_rx(), 1, config_.fmcw.samples_per_sweep());
-    capture_sweep_into(frame, 0, body);
-
-    std::vector<std::vector<double>> sweeps;
-    sweeps.reserve(channel_.num_rx());
-    for (std::size_t rx = 0; rx < channel_.num_rx(); ++rx) {
-        const auto row = frame.sweep(rx, 0);
-        sweeps.emplace_back(row.begin(), row.end());
-    }
-    return sweeps;
-}
-
 }  // namespace witrack::hw

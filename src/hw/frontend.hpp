@@ -49,11 +49,6 @@ class FmcwFrontend {
     void capture_sweep_into(witrack::FrameBuffer& frame, std::size_t sweep_index,
                             std::span<const witrack::rf::BodyScatterer> body);
 
-    /// Compatibility wrapper: capture one sweep and return one baseband
-    /// sample vector per receive antenna.
-    std::vector<std::vector<double>> capture_sweep(
-        std::span<const witrack::rf::BodyScatterer> body);
-
     const witrack::FmcwParams& params() const { return config_.fmcw; }
     const witrack::rf::Channel& channel() const { return channel_; }
     std::size_t num_rx() const { return channel_.num_rx(); }

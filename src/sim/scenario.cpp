@@ -61,19 +61,24 @@ Scenario::Scenario(ScenarioConfig config, std::unique_ptr<MotionScript> script,
 }
 
 bool Scenario::next(Frame& frame) {
-    // Index-based time avoids accumulation drift in the end-of-script test.
-    const double time_s = static_cast<double>(frame_index_) * frame_dt();
-    if (time_s >= script_->duration_s()) return false;
+    return next_into(frame.time_s, frame.sweeps, frame.pose, frame.pose2);
+}
 
-    frame.time_s = time_s;
-    frame.pose = script_->pose_at(time_s);
-    frame.pose2.reset();
+bool Scenario::next_into(double& time_s, FrameBuffer& sweeps_out, Pose& pose,
+                         std::optional<Pose>& pose2) {
+    // Index-based time avoids accumulation drift in the end-of-script test.
+    const double t = static_cast<double>(frame_index_) * frame_dt();
+    if (t >= script_->duration_s()) return false;
+
+    time_s = t;
+    pose = script_->pose_at(t);
+    pose2.reset();
 
     const double dt = frame_dt();
-    auto scatterers = human_->update(frame.pose, dt, array_.tx);
+    auto scatterers = human_->update(pose, dt, array_.tx);
     if (human2_ && second_script_) {
-        frame.pose2 = second_script_->pose_at(time_s);
-        const auto extra = human2_->update(*frame.pose2, dt, array_.tx);
+        pose2 = second_script_->pose_at(t);
+        const auto extra = human2_->update(*pose2, dt, array_.tx);
         scatterers.insert(scatterers.end(), extra.begin(), extra.end());
     }
 
@@ -81,13 +86,13 @@ bool Scenario::next(Frame& frame) {
         config_.fast_capture ? 1 : config_.fmcw.sweeps_per_frame;
     const std::size_t samples = config_.fmcw.samples_per_sweep();
     // capture_sweep_into assigns every sample, so skip the zero-fill when a
-    // reused Frame already has the right shape.
-    if (frame.sweeps.num_rx() != frontend_->num_rx() ||
-        frame.sweeps.num_sweeps() != sweeps ||
-        frame.sweeps.samples_per_sweep() != samples)
-        frame.sweeps.resize(frontend_->num_rx(), sweeps, samples);
+    // reused buffer already has the right shape.
+    if (sweeps_out.num_rx() != frontend_->num_rx() ||
+        sweeps_out.num_sweeps() != sweeps ||
+        sweeps_out.samples_per_sweep() != samples)
+        sweeps_out.resize(frontend_->num_rx(), sweeps, samples);
     for (std::size_t s = 0; s < sweeps; ++s)
-        frontend_->capture_sweep_into(frame.sweeps, s, scatterers);
+        frontend_->capture_sweep_into(sweeps_out, s, scatterers);
 
     ++frame_index_;
     return true;

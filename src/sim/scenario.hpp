@@ -57,6 +57,11 @@ class Scenario {
     /// Produce the next frame; returns false when the script has ended.
     bool next(Frame& frame);
 
+    /// Same production, but into caller-owned storage (the engine layer
+    /// streams directly into its own Frame without an intermediate copy).
+    bool next_into(double& time_s, FrameBuffer& sweeps, Pose& pose,
+                   std::optional<Pose>& pose2);
+
     const geom::ArrayGeometry& array() const { return array_; }
     const Environment& environment() const { return environment_; }
     const ScenarioConfig& config() const { return config_; }

@@ -1,8 +1,8 @@
 // FrameBuffer contract tests: layout round-trips, stride/indexing edge
-// cases, bit-for-bit spectral equivalence between the legacy nested-vector
-// entry points and the contiguous hot path, steady-state allocation freedom
-// of SweepProcessor::process_into, and WiTrackTracker parity across the old
-// and new process_frame overloads.
+// cases, bit-for-bit spectral equivalence between the per-antenna and
+// batched processing entry points, steady-state allocation freedom of
+// SweepProcessor::process_into, and WiTrackTracker determinism across
+// instances fed the same FrameBuffer stream.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -136,12 +136,11 @@ TEST(FrameBufferTest, ResizeReusesStorageAndZeroes) {
 
 // ------------------------------------------------------- spectra identity
 
-TEST(FrameBufferTest, SpectraBitForBitAcrossLayouts) {
+TEST(FrameBufferTest, SpectraBitForBitAcrossEntryPoints) {
     FmcwParams fmcw;
     fmcw.sweep_duration_s = 250e-6;  // 250 samples: fast but non-trivial
     const std::size_t n = fmcw.samples_per_sweep();
-    const auto nested = make_nested(5, 3, n);
-    const auto frame = FrameBuffer::from_nested(nested);
+    const auto frame = FrameBuffer::from_nested(make_nested(5, 3, n));
 
     for (const std::size_t fft_size : {std::size_t{0}, std::size_t{512}}) {
         core::SweepProcessor processor(fmcw, dsp::WindowType::kHann, fft_size);
@@ -150,23 +149,16 @@ TEST(FrameBufferTest, SpectraBitForBitAcrossLayouts) {
         ASSERT_EQ(batched.size(), 3u);
 
         for (std::size_t rx = 0; rx < 3; ++rx) {
-            // Legacy entry point: gather this antenna's sweeps by copy.
-            std::vector<std::vector<double>> gathered;
-            for (std::size_t s = 0; s < 5; ++s) gathered.push_back(nested[s][rx]);
-            const auto legacy = processor.process(gathered);
-
             core::RangeProfile contiguous;
             processor.process_into(frame.antenna(rx), frame.num_sweeps(), contiguous);
 
-            ASSERT_EQ(legacy.spectrum.size(), contiguous.spectrum.size());
-            ASSERT_EQ(legacy.spectrum.size(), batched[rx].spectrum.size());
-            EXPECT_EQ(legacy.bin_round_trip_m, contiguous.bin_round_trip_m);
-            EXPECT_EQ(legacy.usable_bins, contiguous.usable_bins);
-            // Bit-for-bit: all three paths run the identical arithmetic.
-            EXPECT_EQ(0, std::memcmp(legacy.spectrum.data(), contiguous.spectrum.data(),
-                                     legacy.spectrum.size() * sizeof(dsp::cplx)));
-            EXPECT_EQ(0, std::memcmp(legacy.spectrum.data(), batched[rx].spectrum.data(),
-                                     legacy.spectrum.size() * sizeof(dsp::cplx)));
+            ASSERT_EQ(contiguous.spectrum.size(), batched[rx].spectrum.size());
+            EXPECT_EQ(contiguous.bin_round_trip_m, batched[rx].bin_round_trip_m);
+            EXPECT_EQ(contiguous.usable_bins, batched[rx].usable_bins);
+            // Bit-for-bit: both paths run the identical arithmetic.
+            EXPECT_EQ(0, std::memcmp(contiguous.spectrum.data(),
+                                     batched[rx].spectrum.data(),
+                                     contiguous.spectrum.size() * sizeof(dsp::cplx)));
         }
     }
 }
@@ -224,9 +216,9 @@ TEST(FrameBufferTest, SweepProcessorSteadyStateDoesNotAllocate) {
     }
 }
 
-// ------------------------------------------------- tracker entry parity
+// -------------------------------------------------- tracker determinism
 
-TEST(FrameBufferTest, TrackerMatchesAcrossOldAndNewEntryPoints) {
+TEST(FrameBufferTest, TrackerDeterministicAcrossInstances) {
     sim::ScenarioConfig config;
     config.seed = 99;
     config.fast_capture = true;  // keep the suite quick
@@ -240,32 +232,28 @@ TEST(FrameBufferTest, TrackerMatchesAcrossOldAndNewEntryPoints) {
 
     core::PipelineConfig pipeline;
     pipeline.fmcw = config.fmcw;
-    core::WiTrackTracker via_buffer(pipeline, scenario.array());
-    core::WiTrackTracker via_nested(pipeline, scenario.array());
+    core::WiTrackTracker first(pipeline, scenario.array());
+    core::WiTrackTracker second(pipeline, scenario.array());
 
     for (const auto& f : frames) {
-        const auto a = via_buffer.process_frame(f.sweeps, f.time_s);
-        const auto b = via_nested.process_frame(f.sweeps.to_nested(), f.time_s);
+        const auto a = first.process_frame(f.sweeps, f.time_s);
+        const auto b = second.process_frame(f.sweeps, f.time_s);
         ASSERT_EQ(a.raw.has_value(), b.raw.has_value());
         ASSERT_EQ(a.smoothed.has_value(), b.smoothed.has_value());
         if (a.smoothed) {
-            // Identical, not just close: both overloads run the same code
-            // on the same bits.
+            // Identical, not just close: no hidden state outside the inputs
+            // may influence the pipeline (replay determinism depends on it).
             EXPECT_EQ(a.smoothed->position.x, b.smoothed->position.x);
             EXPECT_EQ(a.smoothed->position.y, b.smoothed->position.y);
             EXPECT_EQ(a.smoothed->position.z, b.smoothed->position.z);
         }
     }
 
-    // Latency accounting follows the same rules through both entry points.
-    EXPECT_EQ(via_buffer.frames_processed(), frames.size());
-    EXPECT_EQ(via_nested.frames_processed(), frames.size());
-    EXPECT_GT(via_buffer.mean_latency_s(), 0.0);
-    EXPECT_GT(via_nested.mean_latency_s(), 0.0);
-    EXPECT_GE(via_buffer.max_latency_s(), via_buffer.mean_latency_s());
-    EXPECT_GE(via_nested.max_latency_s(), via_nested.mean_latency_s());
-    EXPECT_EQ(via_buffer.track().size(), via_nested.track().size());
-    EXPECT_EQ(via_buffer.raw_track().size(), via_nested.raw_track().size());
+    EXPECT_EQ(first.frames_processed(), frames.size());
+    EXPECT_GT(first.mean_latency_s(), 0.0);
+    EXPECT_GE(first.max_latency_s(), first.mean_latency_s());
+    EXPECT_EQ(first.track().size(), second.track().size());
+    EXPECT_EQ(first.raw_track().size(), second.raw_track().size());
 }
 
 }  // namespace

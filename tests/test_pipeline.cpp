@@ -35,12 +35,26 @@ std::vector<double> sweep_with_echo(const FmcwParams& fmcw, double round_trip_m,
     return mixer.synthesize({&path, 1});
 }
 
+/// Pack loose sweeps into a single-antenna FrameBuffer and run the
+/// processor over it (FrameBuffer is the only ingestion type).
+RangeProfile process_sweeps(SweepProcessor& processor,
+                            const std::vector<std::vector<double>>& sweeps) {
+    FrameBuffer frame(1, sweeps.size(), sweeps.front().size());
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        auto dst = frame.sweep(0, s);
+        std::copy(sweeps[s].begin(), sweeps[s].end(), dst.begin());
+    }
+    RangeProfile profile;
+    processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+    return profile;
+}
+
 // -------------------------------------------------------------- range FFT
 
 TEST(RangeFft, PeakAtEchoDistance) {
     const auto config = test_config();
     SweepProcessor processor(config.fmcw, config.window, config.fft_size);
-    const auto profile = processor.process({sweep_with_echo(config.fmcw, 12.0)});
+    const auto profile = process_sweeps(processor, {sweep_with_echo(config.fmcw, 12.0)});
     std::size_t best = 1;
     for (std::size_t k = 2; k < profile.usable_bins; ++k)
         if (std::abs(profile.spectrum[k]) > std::abs(profile.spectrum[best])) best = k;
@@ -57,8 +71,9 @@ TEST(RangeFft, AveragingReducesNoiseButKeepsSignal) {
         for (auto& v : s) v += rng.gaussian(0.05);
         return s;
     };
-    const auto one = processor.process({noisy_sweep()});
-    const auto five = processor.process(
+    const auto one = process_sweeps(processor, {noisy_sweep()});
+    const auto five = process_sweeps(
+        processor,
         {noisy_sweep(), noisy_sweep(), noisy_sweep(), noisy_sweep(), noisy_sweep()});
     auto peak_to_floor = [&](const RangeProfile& p) {
         const auto bin = static_cast<std::size_t>(p.bin_of_round_trip(10.0) + 0.5);
@@ -77,7 +92,7 @@ TEST(RangeFft, AveragingReducesNoiseButKeepsSignal) {
 TEST(RangeFft, PaperLiteralModeUsesSweepLength) {
     const auto config = test_config();
     SweepProcessor processor(config.fmcw, config.window, 0);
-    const auto profile = processor.process({sweep_with_echo(config.fmcw, 8.0)});
+    const auto profile = process_sweeps(processor, {sweep_with_echo(config.fmcw, 8.0)});
     EXPECT_EQ(profile.spectrum.size(), config.fmcw.samples_per_sweep());
     EXPECT_NEAR(profile.bin_round_trip_m, config.fmcw.round_trip_bin_m(), 1e-12);
 }
@@ -85,8 +100,10 @@ TEST(RangeFft, PaperLiteralModeUsesSweepLength) {
 TEST(RangeFft, RejectsBadInput) {
     const auto config = test_config();
     SweepProcessor processor(config.fmcw, config.window, config.fft_size);
-    EXPECT_THROW(processor.process({}), std::invalid_argument);
-    EXPECT_THROW(processor.process({std::vector<double>(7, 0.0)}),
+    RangeProfile out;
+    EXPECT_THROW(processor.process_into({}, 0, out), std::invalid_argument);
+    const std::vector<double> short_sweep(7, 0.0);
+    EXPECT_THROW(processor.process_into(short_sweep, 1, out),
                  std::invalid_argument);
     EXPECT_THROW(SweepProcessor(config.fmcw, config.window, 64),
                  std::invalid_argument);  // smaller than the sweep
@@ -107,7 +124,7 @@ TEST(Background, FrameDiffRemovesStaticKeepsMoving) {
         paths[0].amplitude = 1.0;
         paths[1].round_trip_m = person_rt;
         paths[1].amplitude = 0.05;
-        return processor.process({mixer.synthesize(paths)});
+        return process_sweeps(processor, {mixer.synthesize(paths)});
     };
 
     EXPECT_TRUE(subtractor.subtract(frame_at(10.0)).empty());  // first frame
@@ -146,7 +163,7 @@ TEST(Background, StaticTrainingKeepsStaticPerson) {
             person.amplitude = 0.05;
             paths.push_back(person);
         }
-        return processor.process({mixer.synthesize(paths)});
+        return process_sweeps(processor, {mixer.synthesize(paths)});
     };
 
     for (int i = 0; i < 10; ++i) subtractor.train(scene_profile(false));
