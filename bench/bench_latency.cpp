@@ -5,10 +5,23 @@
 // google-benchmark over the per-frame pipeline (range FFT x3 antennas,
 // background subtraction, contour, denoise, 3D solve, smoothing) plus the
 // individual stages.
+// Scheduler comparison mode: `bench_latency --scheduler-json <path>` skips
+// google-benchmark and instead times the demand-driven scheduler's
+// configurations (full serial, lazy TOF-only, lazy localize-only, 2- and
+// 4-worker parallel) over the same captured frames, writing the JSON
+// consumed as bench/scheduler_latency.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/worker_pool.hpp"
+#include "core/pipeline_steps.hpp"
 #include "core/tracker.hpp"
 #include "engine/engine.hpp"
 #include "engine/sim_source.hpp"
@@ -35,6 +48,46 @@ const std::vector<sim::Scenario::Frame>& captured_frames() {
     }();
     return frames;
 }
+
+void BM_PipelineFrameTofOnly(benchmark::State& state) {
+    // Lazy schedule: only the TOF step runs -- the per-frame saving every
+    // TOF-only workload (multi-person, pointing) banks automatically.
+    const auto& frames = captured_frames();
+    core::PipelineConfig pipeline;
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    core::WiTrackTracker tracker(pipeline, array);
+    std::size_t i = 0;
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tracker.process_frame(frames[i % frames.size()].sweeps, t,
+                                  core::PipelineOutputs::kTof));
+        ++i;
+        t += 0.0125;
+    }
+}
+BENCHMARK(BM_PipelineFrameTofOnly)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineFrameWorkers(benchmark::State& state) {
+    // Parallel schedule: per-RX TOF fan-out across a worker pool
+    // (bit-identical to serial; speedup needs >= 2 hardware cores).
+    const auto& frames = captured_frames();
+    core::PipelineConfig pipeline;
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    common::WorkerPool pool(static_cast<std::size_t>(state.range(0)));
+    core::WiTrackTracker tracker(pipeline, array);
+    tracker.set_worker_pool(&pool);
+    std::size_t i = 0;
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tracker.process_frame(frames[i % frames.size()].sweeps, t));
+        ++i;
+        t += 0.0125;
+    }
+    state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullPipelineFrameWorkers)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_FullPipelineFrame(benchmark::State& state) {
     const auto& frames = captured_frames();
@@ -130,6 +183,125 @@ void BM_GaussNewtonSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussNewtonSolve);
 
+// ------------------------------------------------ scheduler JSON comparison
+
+struct SchedulerTiming {
+    const char* name;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+};
+
+/// Time one scheduler configuration over every captured frame, repeated
+/// `reps` times on a fresh tracker (first repetition warms caches and is
+/// discarded from the mean).
+SchedulerTiming time_configuration(const char* name, core::PipelineOutputs outputs,
+                                   std::size_t workers, int reps) {
+    const auto& frames = captured_frames();
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+    core::PipelineConfig pipeline;
+
+    SchedulerTiming timing{name};
+    double total_s = 0.0;
+    std::size_t timed_frames = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::unique_ptr<common::WorkerPool> pool;
+        core::WiTrackTracker tracker(pipeline, array);
+        if (workers > 1) {
+            pool = std::make_unique<common::WorkerPool>(workers);
+            tracker.set_worker_pool(pool.get());
+        }
+        double t = 0.0;
+        for (const auto& frame : frames) {
+            const auto t0 = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(
+                tracker.process_frame(frame.sweeps, t, outputs));
+            const auto t1 = std::chrono::steady_clock::now();
+            t += 0.0125;
+            if (rep == 0) continue;  // warm-up repetition
+            const double s = std::chrono::duration<double>(t1 - t0).count();
+            total_s += s;
+            timing.max_ms = std::max(timing.max_ms, s * 1e3);
+            ++timed_frames;
+        }
+    }
+    timing.mean_ms = timed_frames > 0
+                         ? total_s * 1e3 / static_cast<double>(timed_frames)
+                         : 0.0;
+    std::printf("  %-28s mean %7.3f ms   max %7.3f ms\n", timing.name,
+                timing.mean_ms, timing.max_ms);
+    return timing;
+}
+
+/// Serial vs lazy vs parallel over identical frames, written as JSON next
+/// to baseline_frame_latency.json. A host with a single hardware core
+/// cannot show a parallel win (the fan-out only adds dispatch overhead
+/// there); host_cpus records the machine the numbers came from.
+int write_scheduler_json(const char* path) {
+    constexpr int kReps = 4;
+    std::printf("scheduler latency comparison (%d timed repetitions):\n",
+                kReps - 1);
+    const std::vector<SchedulerTiming> timings = {
+        time_configuration("serial_full", core::PipelineOutputs::kAll, 1, kReps),
+        time_configuration("lazy_tof_only", core::PipelineOutputs::kTof, 1, kReps),
+        time_configuration("lazy_localize_only",
+                           core::PipelineOutputs::kRawPosition, 1, kReps),
+        time_configuration("workers_2", core::PipelineOutputs::kAll, 2, kReps),
+        time_configuration("workers_4", core::PipelineOutputs::kAll, 4, kReps),
+    };
+
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"bench_latency --scheduler-json\",\n");
+    std::fprintf(out,
+                 "  \"scenario\": \"LineWalkScript through-wall, 3 rx, 5 "
+                 "sweeps/frame, fft_size 4096\",\n");
+    std::fprintf(out, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    if (std::thread::hardware_concurrency() < 2) {
+        std::fprintf(out,
+                     "  \"note\": \"single-core host: the worker configurations "
+                     "can only add dispatch overhead here (no parallel hardware); "
+                     "rerun on a multi-core machine for the parallel speedup -- "
+                     "tests/test_scheduler.cpp proves the schedules bit-identical "
+                     "regardless\",\n");
+    }
+    std::fprintf(out, "  \"configurations\": {\n");
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        std::fprintf(out,
+                     "    \"%s\": {\"mean_ms\": %.4f, \"max_ms\": %.4f}%s\n",
+                     timings[i].name, timings[i].mean_ms, timings[i].max_ms,
+                     i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(out, "  },\n");
+    const double serial = timings[0].mean_ms;
+    std::fprintf(out, "  \"speedup_vs_serial\": {\n");
+    for (std::size_t i = 1; i < timings.size(); ++i) {
+        const double speedup =
+            timings[i].mean_ms > 0.0 ? serial / timings[i].mean_ms : 0.0;
+        std::fprintf(out, "    \"%s\": %.3f%s\n", timings[i].name, speedup,
+                     i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--scheduler-json") == 0)
+            return write_scheduler_json(argv[i + 1]);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -34,8 +34,9 @@ int main() {
     const geom::Vec3 stand{0.0, 4.5, 0.0};
     const geom::Vec3 shoulder{stand.x, stand.y, 1.3};
 
-    std::printf("WiTrack pointing control -- user at (%.1f, %.1f)\n\n", stand.x,
+    std::printf("WiTrack pointing control -- user at (%.1f, %.1f)\n", stand.x,
                 stand.y);
+    std::printf("(TOF-only workload: the scheduler skips localization/smoothing)\n\n");
 
     int correct = 0;
     std::uint64_t gesture_seed = 3;
@@ -48,6 +49,9 @@ int main() {
                                              stand, dir, Rng(gesture_seed)));
         gesture_seed += 11;
 
+        // PointingStage demands only TOF and ApplianceController nothing at
+        // all, so each gesture engine schedules just the TOF step --
+        // localization and smoothing never run in this application.
         engine::Engine eng(config, source);
         eng.emplace_stage<engine::PointingStage>();
         const auto& controller =

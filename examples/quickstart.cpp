@@ -26,6 +26,9 @@ int main() {
                                          env.bounds, 10.0, Rng(2024)));
 
     // --- 3. Engine: subscribe to track updates and stream. ---
+    // The scheduler is demand-driven: subscribing to TrackUpdateEvent is
+    // what makes the Engine run the full TOF -> localize -> smooth chain
+    // (stages and subscribers that only need TOF would skip the rest).
     engine::Engine eng(config, source);
 
     std::printf("time     estimate (x, y, z)         truth (x, y, z)        err\n");
@@ -44,8 +47,10 @@ int main() {
         });
     eng.run();
 
-    std::printf("\nProcessed %zu frames; mean pipeline latency %.1f ms "
-                "(paper budget: < 75 ms)\n",
-                eng.frames_processed(), eng.tracker().mean_latency_s() * 1e3);
+    std::printf("\nProcessed %zu frames (pipeline steps: %s); mean pipeline "
+                "latency %.1f ms (paper budget: < 75 ms)\n",
+                eng.frames_processed(),
+                core::to_string(eng.demanded_outputs()).c_str(),
+                eng.tracker().mean_latency_s() * 1e3);
     return 0;
 }

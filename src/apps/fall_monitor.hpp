@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/fall.hpp"
+#include "core/pipeline_steps.hpp"
 #include "core/tracker.hpp"
 
 namespace witrack::apps {
@@ -17,6 +18,14 @@ namespace witrack::apps {
 class FallMonitor {
   public:
     using FallCallback = std::function<void(const core::FallDetector::Analysis&)>;
+
+    /// What this application consumes from the pipeline: the *raw*
+    /// (unsmoothed) track -- falls live in the ~0.4 s transient that
+    /// smoothing blurs away, and the smoothed track is never read. The
+    /// engine plugin forwards this so a fall-only deployment skips the
+    /// position Kalman entirely.
+    static constexpr core::PipelineOutputs kRequiredInputs =
+        core::PipelineOutputs::kRawPosition;
 
     /// `max_alerts` bounds the retained alert history: a monitor that runs
     /// for months keeps the most recent alerts and drops the oldest, so

@@ -1,0 +1,41 @@
+#include "core/pipeline_steps.hpp"
+
+namespace witrack::core {
+
+std::string to_string(PipelineOutputs v) {
+    std::string out;
+    const auto append = [&out](const char* name) {
+        if (!out.empty()) out += '|';
+        out += name;
+    };
+    if (any(v & PipelineOutputs::kTof)) append("tof");
+    if (any(v & PipelineOutputs::kRawPosition)) append("raw");
+    if (any(v & PipelineOutputs::kSmoothedTrack)) append("smoothed");
+    return out.empty() ? "none" : out;
+}
+
+SmoothStep::SmoothStep(const PipelineConfig& config)
+    : filter_(config.position_process_noise, config.position_measurement_noise),
+      frame_duration_s_(config.fmcw.frame_duration_s()) {}
+
+std::optional<TrackPoint> SmoothStep::run(const std::optional<TrackPoint>& raw,
+                                          double time_s) {
+    const double dt =
+        have_last_time_ ? (time_s - last_time_s_) : frame_duration_s_;
+    last_time_s_ = time_s;
+    have_last_time_ = true;
+
+    if (!raw) return std::nullopt;
+    const auto smoothed =
+        filter_.update({raw->position.x, raw->position.y, raw->position.z}, dt);
+    TrackPoint point = *raw;
+    point.position = {smoothed.x, smoothed.y, smoothed.z};
+    return point;
+}
+
+void SmoothStep::reset() {
+    filter_.reset();
+    have_last_time_ = false;
+}
+
+}  // namespace witrack::core

@@ -1,0 +1,130 @@
+// The paper's realtime chain (Section 7) split into composable steps --
+// TofStep (per-antenna range FFT + contour + denoise), LocalizeStep
+// (ellipsoid intersection) and SmoothStep (3D Kalman) -- scheduled
+// demand-driven: a consumer that only needs TOF observations (multi-person,
+// pointing) never pays for localization or smoothing. PipelineOutputs is
+// the demand vocabulary shared by the steps, WiTrackTracker and the
+// engine's AppStage::required_inputs().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/frame_buffer.hpp"
+#include "core/localize.hpp"
+#include "core/params.hpp"
+#include "core/tof.hpp"
+#include "dsp/kalman.hpp"
+#include "geom/array_geometry.hpp"
+
+namespace witrack::common {
+class WorkerPool;
+}
+
+namespace witrack::core {
+
+/// Which pipeline products a consumer demands. Downstream bits imply their
+/// upstream dependencies (resolved by with_dependencies): the smoothed
+/// track needs a raw position, which needs the TOF observations.
+enum class PipelineOutputs : std::uint8_t {
+    kNone = 0,
+    kTof = 1u << 0,            ///< per-antenna TOF observations
+    kRawPosition = 1u << 1,    ///< unsmoothed ellipsoid-solver output
+    kSmoothedTrack = 1u << 2,  ///< Kalman-smoothed 3D track
+    kAll = kTof | kRawPosition | kSmoothedTrack,
+};
+
+constexpr PipelineOutputs operator|(PipelineOutputs a, PipelineOutputs b) {
+    return static_cast<PipelineOutputs>(static_cast<std::uint8_t>(a) |
+                                        static_cast<std::uint8_t>(b));
+}
+constexpr PipelineOutputs operator&(PipelineOutputs a, PipelineOutputs b) {
+    return static_cast<PipelineOutputs>(static_cast<std::uint8_t>(a) &
+                                        static_cast<std::uint8_t>(b));
+}
+inline PipelineOutputs& operator|=(PipelineOutputs& a, PipelineOutputs b) {
+    return a = a | b;
+}
+
+constexpr bool any(PipelineOutputs v) { return v != PipelineOutputs::kNone; }
+
+/// True when `set` contains every bit of `bits`.
+constexpr bool demands(PipelineOutputs set, PipelineOutputs bits) {
+    return (set & bits) == bits;
+}
+
+/// Close a demand set over the step dependencies (smoothed -> raw -> TOF).
+constexpr PipelineOutputs with_dependencies(PipelineOutputs v) {
+    if (any(v & PipelineOutputs::kSmoothedTrack)) v |= PipelineOutputs::kRawPosition;
+    if (any(v & PipelineOutputs::kRawPosition)) v |= PipelineOutputs::kTof;
+    return v;
+}
+
+/// Human-readable demand set, e.g. "tof|raw" ("none" when empty).
+std::string to_string(PipelineOutputs v);
+
+/// Step 1: raw sweeps -> per-antenna TOF observations (Section 4 end to
+/// end). Owns the TofEstimator; attach a WorkerPool to fan the per-RX
+/// FFT/contour/denoise chains out across threads (bit-identical to serial).
+class TofStep {
+  public:
+    TofStep(const PipelineConfig& config, std::size_t num_rx)
+        : estimator_(config, num_rx) {}
+
+    void run(const FrameBuffer& frame, double time_s, TofFrame& out) {
+        out = estimator_.process_frame(frame, time_s);
+    }
+
+    void set_worker_pool(common::WorkerPool* pool) {
+        estimator_.set_worker_pool(pool);
+    }
+
+    TofEstimator& estimator() { return estimator_; }
+    const TofEstimator& estimator() const { return estimator_; }
+
+    void reset() { estimator_.reset(); }
+
+  private:
+    TofEstimator estimator_;
+};
+
+/// Step 2: TOF observations -> unsmoothed 3D position (Section 5).
+/// Stateless beyond its solver: safe to skip for any number of frames.
+class LocalizeStep {
+  public:
+    LocalizeStep(const geom::ArrayGeometry& array, const PipelineConfig& config)
+        : localizer_(array, config) {}
+
+    std::optional<TrackPoint> run(const TofFrame& tof) const {
+        return localizer_.locate(tof);
+    }
+
+    const Localizer& localizer() const { return localizer_; }
+
+  private:
+    Localizer localizer_;
+};
+
+/// Step 3: raw positions -> Kalman-smoothed track. Stateful (filter state
+/// and inter-frame dt bookkeeping advance only on frames where the step
+/// runs), so a session either demands smoothing throughout or not at all.
+class SmoothStep {
+  public:
+    explicit SmoothStep(const PipelineConfig& config);
+
+    /// Advance the dt bookkeeping and, when a raw position is present, fuse
+    /// it; must be called on every frame the smoothed track is demanded.
+    std::optional<TrackPoint> run(const std::optional<TrackPoint>& raw,
+                                  double time_s);
+
+    void reset();
+
+  private:
+    dsp::PositionKalman filter_;
+    double frame_duration_s_;
+    double last_time_s_ = 0.0;
+    bool have_last_time_ = false;
+};
+
+}  // namespace witrack::core

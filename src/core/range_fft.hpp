@@ -68,4 +68,30 @@ class SweepProcessor {
     dsp::FftScratch scratch_;
 };
 
+/// A bank of identically-configured SweepProcessors, one per concurrency
+/// lane: the unit of the engine's per-RX fan-out. Since a SweepProcessor
+/// owns its averaging buffer and FFT scratch it cannot be shared across
+/// threads, so parallel per-antenna processing uses lane(rx) per worker;
+/// identical construction makes every lane's arithmetic -- and therefore
+/// the parallel output -- bit-identical to lane 0 running alone.
+class SweepProcessorBank {
+  public:
+    SweepProcessorBank(const FmcwParams& fmcw, dsp::WindowType window,
+                       std::size_t fft_size = 0, std::size_t lanes = 1);
+
+    SweepProcessor& lane(std::size_t i) { return lanes_[i]; }
+    std::size_t lanes() const { return lanes_.size(); }
+
+    /// Grow the bank to at least `count` lanes (never shrinks).
+    void ensure_lanes(std::size_t count);
+
+    const FmcwParams& params() const { return lanes_.front().params(); }
+
+  private:
+    FmcwParams fmcw_;
+    dsp::WindowType window_;
+    std::size_t fft_size_;
+    std::vector<SweepProcessor> lanes_;
+};
+
 }  // namespace witrack::core

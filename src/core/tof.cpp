@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/worker_pool.hpp"
+
 namespace witrack::core {
 
 TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx)
     : config_(config),
-      processor_(config.fmcw, config.window, config.fft_size),
+      processors_(config.fmcw, config.window, config.fft_size),
       contour_(config) {
     if (num_rx == 0) throw std::invalid_argument("TofEstimator: need >= 1 antenna");
     per_rx_.reserve(num_rx);
@@ -26,9 +28,62 @@ void TofEstimator::train_background(const FrameBuffer& frame) {
     if (frame.num_rx() < per_rx_.size())
         throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
     for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
-        processor_.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
+        processors_.lane(0).process_into(frame.antenna(rx), frame.num_sweeps(),
+                                         profiles_[rx]);
         per_rx_[rx].background.train(profiles_[rx]);
     }
+}
+
+void TofEstimator::set_worker_pool(common::WorkerPool* pool) {
+    pool_ = pool;
+    // One FFT lane per antenna: a SweepProcessor owns its scratch and must
+    // not be shared across threads.
+    if (pool_ != nullptr) processors_.ensure_lanes(per_rx_.size());
+}
+
+void TofEstimator::process_rx(std::size_t rx, SweepProcessor& processor,
+                              const FrameBuffer& frame, double dt,
+                              AntennaFrame& out) {
+    auto& antenna_state = per_rx_[rx];
+
+    processor.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
+    const auto& profile = profiles_[rx];
+    auto& magnitude = magnitude_[rx];
+    antenna_state.background.subtract_into(profile, magnitude);
+
+    if (!magnitude.empty()) {
+        if (config_.contour_peaks > 1) {
+            out.peaks = contour_.extract_peaks(magnitude, profile.bin_round_trip_m,
+                                               config_.contour_peaks);
+            out.contour = out.peaks.empty() ? ContourPoint{} : out.peaks.front();
+        } else {
+            out.contour = contour_.extract(magnitude, profile.bin_round_trip_m);
+        }
+
+        // Gated re-detection: if the global contour missed (weak echo)
+        // or jumped implausibly (multipath grabbed the contour), look
+        // for the person near where continuity says she must be.
+        const auto& last = antenna_state.denoiser.last_value();
+        if (last && config_.gate_window_m > 0.0) {
+            bool need_gate = !out.contour.detected;
+            if (!need_gate)
+                need_gate = out.contour.round_trip_m >
+                            *last + config_.max_contour_jump_m;
+            if (!need_gate) {
+                antenna_state.gated_streak = 0;
+            } else if (antenna_state.gated_streak < config_.gate_max_streak) {
+                const auto gated = contour_.extract_near(
+                    magnitude, profile.bin_round_trip_m, *last,
+                    config_.gate_window_m, config_.gate_relax);
+                if (gated.detected) {
+                    out.contour = gated;
+                    ++antenna_state.gated_streak;
+                }
+            }
+        }
+    }
+    out.denoised_m = antenna_state.denoiser.update(out.contour, dt);
+    if (config_.record_profiles) out.profile = magnitude;
 }
 
 TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
@@ -41,48 +96,16 @@ TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
 
     const double dt = config_.fmcw.frame_duration_s();
 
-    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
-        auto& antenna_state = per_rx_[rx];
-        auto& out = out_frame.antennas[rx];
-
-        processor_.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
-        const auto& profile = profiles_[rx];
-        auto& magnitude = magnitude_[rx];
-        antenna_state.background.subtract_into(profile, magnitude);
-
-        if (!magnitude.empty()) {
-            if (config_.contour_peaks > 1) {
-                out.peaks = contour_.extract_peaks(magnitude, profile.bin_round_trip_m,
-                                                   config_.contour_peaks);
-                out.contour = out.peaks.empty() ? ContourPoint{} : out.peaks.front();
-            } else {
-                out.contour = contour_.extract(magnitude, profile.bin_round_trip_m);
-            }
-
-            // Gated re-detection: if the global contour missed (weak echo)
-            // or jumped implausibly (multipath grabbed the contour), look
-            // for the person near where continuity says she must be.
-            const auto& last = antenna_state.denoiser.last_value();
-            if (last && config_.gate_window_m > 0.0) {
-                bool need_gate = !out.contour.detected;
-                if (!need_gate)
-                    need_gate = out.contour.round_trip_m >
-                                *last + config_.max_contour_jump_m;
-                if (!need_gate) {
-                    antenna_state.gated_streak = 0;
-                } else if (antenna_state.gated_streak < config_.gate_max_streak) {
-                    const auto gated = contour_.extract_near(
-                        magnitude, profile.bin_round_trip_m, *last,
-                        config_.gate_window_m, config_.gate_relax);
-                    if (gated.detected) {
-                        out.contour = gated;
-                        ++antenna_state.gated_streak;
-                    }
-                }
-            }
-        }
-        out.denoised_m = antenna_state.denoiser.update(out.contour, dt);
-        if (config_.record_profiles) out.profile = magnitude;
+    if (pool_ != nullptr && per_rx_.size() > 1) {
+        // Per-RX fan-out: every lane's state is rx-disjoint, so the only
+        // coordination needed is the parallel_for join.
+        pool_->parallel_for(per_rx_.size(), [&](std::size_t rx) {
+            process_rx(rx, processors_.lane(rx), frame, dt,
+                       out_frame.antennas[rx]);
+        });
+    } else {
+        for (std::size_t rx = 0; rx < per_rx_.size(); ++rx)
+            process_rx(rx, processors_.lane(0), frame, dt, out_frame.antennas[rx]);
     }
     return out_frame;
 }
@@ -91,6 +114,7 @@ void TofEstimator::reset() {
     for (auto& antenna : per_rx_) {
         antenna.background.reset();
         antenna.denoiser.reset();
+        antenna.gated_streak = 0;
     }
 }
 

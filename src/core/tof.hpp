@@ -1,6 +1,10 @@
 // Per-antenna TOF estimation chain (paper Section 4 end to end): sweep
 // averaging + range FFT -> background subtraction -> bottom-contour
-// extraction -> denoising, for each receive antenna in parallel.
+// extraction -> denoising, for each receive antenna independently. Attach
+// a WorkerPool to fan the per-RX chains out across threads: every antenna's
+// state (background model, denoiser, FFT lane, scratch profiles) is
+// rx-disjoint and the ContourTracker is stateless, so the parallel output
+// is bit-identical to the serial one.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +17,10 @@
 #include "core/denoise.hpp"
 #include "core/params.hpp"
 #include "core/range_fft.hpp"
+
+namespace witrack::common {
+class WorkerPool;
+}
 
 namespace witrack::core {
 
@@ -78,6 +86,12 @@ class TofEstimator {
     void enable_static_training();
     void train_background(const FrameBuffer& frame);
 
+    /// Fan the per-antenna chains out across `pool` on subsequent
+    /// process_frame calls (nullptr restores the serial path). The pool is
+    /// borrowed and must outlive the estimator; output is bit-identical to
+    /// serial either way.
+    void set_worker_pool(common::WorkerPool* pool);
+
     const PipelineConfig& config() const { return config_; }
     std::size_t num_rx() const { return per_rx_.size(); }
 
@@ -92,9 +106,16 @@ class TofEstimator {
             : background(BackgroundMode::kFrameDiff), denoiser(config) {}
     };
 
+    /// One antenna's full chain: range FFT (on `processor`) -> background
+    /// subtraction -> contour -> gating -> denoise. Touches only rx-indexed
+    /// state, so distinct rx may run concurrently on distinct processors.
+    void process_rx(std::size_t rx, SweepProcessor& processor,
+                    const FrameBuffer& frame, double dt, AntennaFrame& out);
+
     PipelineConfig config_;
-    SweepProcessor processor_;
+    SweepProcessorBank processors_;               ///< lane per rx when pooled
     ContourTracker contour_;
+    common::WorkerPool* pool_ = nullptr;
     std::vector<PerAntenna> per_rx_;
     std::vector<RangeProfile> profiles_;          ///< reused per-rx spectra
     std::vector<std::vector<double>> magnitude_;  ///< reused per-rx profiles

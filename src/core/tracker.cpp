@@ -8,34 +8,51 @@ namespace witrack::core {
 WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
                                const geom::ArrayGeometry& array)
     : config_(config),
-      tof_(config, array.rx.size()),
-      localizer_(array, config),
-      position_filter_(config.position_process_noise,
-                       config.position_measurement_noise) {}
+      tof_step_(config, array.rx.size()),
+      localize_step_(array, config),
+      smooth_step_(config) {}
 
 WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& frame,
-                                                          double time_s) {
+                                                          double time_s,
+                                                          PipelineOutputs demanded) {
     const auto t0 = std::chrono::steady_clock::now();
+    demanded = with_dependencies(demanded);
+
+    // A step re-demanded after undemanded frames (e.g. a subscriber
+    // returned) restarts from clean state rather than resuming from a
+    // stale one: the TOF chain would otherwise background-subtract a
+    // minutes-old profile and gate around a stale denoiser track, and the
+    // position filter would extrapolate stale velocity across the whole
+    // gap. Resets are no-ops on fresh state, so a stable demand set
+    // (including frame 0) is bit-identical to before.
+    if (demands(demanded, PipelineOutputs::kTof) &&
+        !demands(prev_demanded_, PipelineOutputs::kTof))
+        tof_step_.reset();
+    if (demands(demanded, PipelineOutputs::kSmoothedTrack) &&
+        !demands(prev_demanded_, PipelineOutputs::kSmoothedTrack))
+        smooth_step_.reset();
+    prev_demanded_ = demanded;
 
     FrameResult result;
-    result.tof = tof_.process_frame(frame, time_s);
-    result.raw = localizer_.locate(result.tof);
+    result.computed = demanded;
 
-    const double dt = have_last_time_ ? (time_s - last_time_s_)
-                                      : config_.fmcw.frame_duration_s();
-    last_time_s_ = time_s;
-    have_last_time_ = true;
+    if (demands(demanded, PipelineOutputs::kTof))
+        tof_step_.run(frame, time_s, result.tof);
 
-    if (result.raw) {
-        raw_track_.push_back(*result.raw);
-        const auto smoothed = position_filter_.update(
-            {result.raw->position.x, result.raw->position.y, result.raw->position.z}, dt);
-        TrackPoint point = *result.raw;
-        point.position = {smoothed.x, smoothed.y, smoothed.z};
-        result.smoothed = point;
-        track_.push_back(point);
-        trim_history(raw_track_);
-        trim_history(track_);
+    if (demands(demanded, PipelineOutputs::kRawPosition)) {
+        result.raw = localize_step_.run(result.tof);
+        if (result.raw) {
+            raw_track_.push_back(*result.raw);
+            trim_history(raw_track_);
+        }
+    }
+
+    if (demands(demanded, PipelineOutputs::kSmoothedTrack)) {
+        result.smoothed = smooth_step_.run(result.raw, time_s);
+        if (result.smoothed) {
+            track_.push_back(*result.smoothed);
+            trim_history(track_);
+        }
     }
 
     const auto t1 = std::chrono::steady_clock::now();
@@ -60,14 +77,14 @@ double WiTrackTracker::mean_latency_s() const {
 }
 
 void WiTrackTracker::reset() {
-    tof_.reset();
-    position_filter_.reset();
+    tof_step_.reset();
+    smooth_step_.reset();
+    prev_demanded_ = PipelineOutputs::kNone;
     track_.clear();
     raw_track_.clear();
     total_latency_s_ = 0.0;
     max_latency_s_ = 0.0;
     frames_ = 0;
-    have_last_time_ = false;
 }
 
 }  // namespace witrack::core

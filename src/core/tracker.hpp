@@ -1,7 +1,10 @@
-// WiTrack facade: the full realtime pipeline of paper Section 7 -- TOF
-// estimation per antenna, 3D localization, and position smoothing -- plus
-// per-frame processing-latency accounting (the paper reports < 75 ms from
-// signal reception to 3D output).
+// WiTrack facade: the full realtime pipeline of paper Section 7 composed
+// from the demand-schedulable steps (TofStep -> LocalizeStep -> SmoothStep)
+// plus per-frame processing-latency accounting (the paper reports < 75 ms
+// from signal reception to 3D output). Callers that only need part of the
+// chain pass a PipelineOutputs demand set and the undemanded steps are
+// skipped entirely -- a TOF-only consumer never pays for the ellipsoid
+// solve or the Kalman smoothing.
 #pragma once
 
 #include <optional>
@@ -10,8 +13,8 @@
 #include "common/frame_buffer.hpp"
 #include "core/localize.hpp"
 #include "core/params.hpp"
+#include "core/pipeline_steps.hpp"
 #include "core/tof.hpp"
-#include "dsp/kalman.hpp"
 #include "geom/array_geometry.hpp"
 
 namespace witrack::core {
@@ -25,11 +28,31 @@ class WiTrackTracker {
         std::optional<TrackPoint> raw;      ///< unsmoothed solver output
         std::optional<TrackPoint> smoothed; ///< Kalman-smoothed 3D position
         double processing_seconds = 0.0;    ///< wall-clock pipeline latency
+        PipelineOutputs computed = PipelineOutputs::kNone;  ///< steps that ran
     };
 
-    /// Process one frame of sweeps (contiguous rx-major storage). This is
-    /// the realtime hot path; FrameBuffer is the only ingestion type.
-    FrameResult process_frame(const FrameBuffer& frame, double time_s);
+    /// Process one frame of sweeps (contiguous rx-major storage) through the
+    /// full chain. This is the realtime hot path; FrameBuffer is the only
+    /// ingestion type.
+    FrameResult process_frame(const FrameBuffer& frame, double time_s) {
+        return process_frame(frame, time_s, PipelineOutputs::kAll);
+    }
+
+    /// Demand-driven variant: run only the steps needed to produce
+    /// `demanded` (closed over dependencies -- demanding the smoothed track
+    /// implies localization and TOF). Undemanded FrameResult fields are left
+    /// empty and undemanded stateful steps do not advance; re-demanding the
+    /// smoothed track after a gap restarts the position filter (no stale
+    /// cross-gap extrapolation), so the smoothing session begins fresh.
+    FrameResult process_frame(const FrameBuffer& frame, double time_s,
+                              PipelineOutputs demanded);
+
+    /// Fan the per-antenna TOF chains out across `pool` (nullptr = serial).
+    /// Parallel output is bit-identical to serial; the pool is borrowed and
+    /// must outlive the tracker.
+    void set_worker_pool(common::WorkerPool* pool) {
+        tof_step_.set_worker_pool(pool);
+    }
 
     /// All smoothed track points so far (bounded by
     /// PipelineConfig::max_track_history when a cap is set).
@@ -44,8 +67,8 @@ class WiTrackTracker {
     double max_latency_s() const { return max_latency_s_; }
     std::size_t frames_processed() const { return frames_; }
 
-    TofEstimator& tof_estimator() { return tof_; }
-    const Localizer& localizer() const { return localizer_; }
+    TofEstimator& tof_estimator() { return tof_step_.estimator(); }
+    const Localizer& localizer() const { return localize_step_.localizer(); }
 
     void reset();
 
@@ -54,16 +77,15 @@ class WiTrackTracker {
     void trim_history(std::vector<TrackPoint>& track);
 
     PipelineConfig config_;
-    TofEstimator tof_;
-    Localizer localizer_;
-    dsp::PositionKalman position_filter_;
+    TofStep tof_step_;
+    LocalizeStep localize_step_;
+    SmoothStep smooth_step_;
+    PipelineOutputs prev_demanded_ = PipelineOutputs::kNone;
     std::vector<TrackPoint> track_;
     std::vector<TrackPoint> raw_track_;
     double total_latency_s_ = 0.0;
     double max_latency_s_ = 0.0;
     std::size_t frames_ = 0;
-    double last_time_s_ = 0.0;
-    bool have_last_time_ = false;
 };
 
 }  // namespace witrack::core

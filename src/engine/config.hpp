@@ -6,10 +6,13 @@
 // that need them, so this header stays free of sim/hw dependencies).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 
 #include "common/constants.hpp"
 #include "core/params.hpp"
+#include "core/pipeline_steps.hpp"
 #include "rf/noise.hpp"
 
 namespace witrack::engine {
@@ -36,6 +39,19 @@ struct EngineConfig {
     /// Processing-pipeline tuning. `pipeline.fmcw` is overwritten by
     /// pipeline_config() so the sweep geometry can never diverge.
     core::PipelineConfig pipeline;
+
+    /// Scheduler parallelism: number of worker threads for the per-RX TOF
+    /// fan-out and concurrent app stages. 0 = read the WITRACK_WORKERS
+    /// environment variable (absent -> serial); 1 = serial. Parallel output
+    /// is bit-identical to serial.
+    std::size_t workers = 0;
+
+    /// Demand override for the scheduler. Unset (the default), the Engine
+    /// unions AppStage::required_inputs() with event-bus subscriptions and
+    /// runs only the demanded pipeline steps; set, exactly these outputs
+    /// (closed over dependencies) are computed regardless of consumers --
+    /// useful for benchmarks and for driving the tracker directly.
+    std::optional<core::PipelineOutputs> outputs;
 
     // ------------------------------------------------------ fluent builder
 
@@ -71,6 +87,14 @@ struct EngineConfig {
     }
     EngineConfig& with_noise(const rf::NoiseModel& model) {
         noise = model;
+        return *this;
+    }
+    EngineConfig& with_workers(std::size_t count) {
+        workers = count;
+        return *this;
+    }
+    EngineConfig& with_outputs(core::PipelineOutputs demanded) {
+        outputs = demanded;
         return *this;
     }
 

@@ -2,8 +2,30 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 
 namespace witrack::engine {
+
+namespace {
+
+/// workers == 0 defers to the WITRACK_WORKERS environment variable so CI
+/// (and operators) can switch a whole binary to the parallel schedule
+/// without touching call sites; absent or unparsable means serial.
+std::size_t resolve_workers(std::size_t configured) {
+    if (configured > 0) return configured;
+    const char* env = std::getenv("WITRACK_WORKERS");
+    if (env == nullptr) return 1;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    // Malformed, negative (strtoul wraps a leading minus), or absurd values
+    // fall back to serial rather than crash spawning threads at startup.
+    constexpr unsigned long kMaxWorkers = 256;
+    if (end == env || *end != '\0' || value == 0 || value > kMaxWorkers) return 1;
+    return static_cast<std::size_t>(value);
+}
+
+}  // namespace
 
 Engine::Engine(EngineConfig config, FrameSource& source)
     : config_(std::move(config)),
@@ -17,47 +39,130 @@ Engine::Engine(EngineConfig config, FrameSource& source)
           return pipeline;
       }()),
       source_(&source),
+      workers_(resolve_workers(config_.workers)),
       tracker_(pipeline_, source.array()) {
     // Keep the stored config coherent with the resolved pipeline: stages
     // and subscribers reading config().fmcw must see what the pipeline
     // actually runs with.
     config_.fmcw = pipeline_.fmcw;
+    if (workers_ > 1) {
+        pool_ = std::make_unique<common::WorkerPool>(workers_);
+        tracker_.set_worker_pool(pool_.get());
+    }
 }
 
 void Engine::add_stage(std::unique_ptr<AppStage> stage) {
     const StageContext context{config_, pipeline_, source_->array()};
     stage->attach(context, bus_);
-    stage_stats_.push_back(StageStats{std::string(stage->name()), 0, 0.0, 0.0});
+    stage_stats_.push_back(StageStats{std::string(stage->name()), 0, 0.0, 0.0, 0.0});
+    auto slot = std::make_unique<StageSlot>();
+    slot->staging.capture_into(&slot->pending);
+    slot->staging.mirror_counts_from(&bus_);
+    slots_.push_back(std::move(slot));
     stages_.push_back(std::move(stage));
+}
+
+core::PipelineOutputs Engine::demanded_outputs() const {
+    if (config_.outputs) return core::with_dependencies(*config_.outputs);
+
+    core::PipelineOutputs demanded = core::PipelineOutputs::kNone;
+    for (const auto& stage : stages_) demanded |= stage->required_inputs();
+    // A TrackUpdateEvent carries the TOF summary plus raw and smoothed
+    // positions, so one subscriber demands the whole chain.
+    const bool track_subscribers = bus_.subscriber_count<TrackUpdateEvent>() > 0;
+    if (track_subscribers) demanded |= core::PipelineOutputs::kAll;
+    // Headless operation -- no stages, no track subscribers -- means the
+    // caller drives step() by hand and reads tracker() directly; keep the
+    // full pipeline running for them.
+    if (stages_.empty() && !track_subscribers) return core::PipelineOutputs::kAll;
+    return core::with_dependencies(demanded);
 }
 
 bool Engine::step() {
     if (!source_->next(frame_)) return false;
 
-    const auto result = tracker_.process_frame(frame_.sweeps, frame_.time_s);
+    result_ = tracker_.process_frame(frame_.sweeps, frame_.time_s,
+                                     demanded_outputs());
 
-    TrackUpdateEvent update;
-    update.time_s = frame_.time_s;
-    update.motion_detected = result.tof.motion_detected();
-    update.raw = result.raw;
-    update.smoothed = result.smoothed;
-    update.processing_seconds = result.processing_seconds;
-    update.truth = frame_.truth;
-    bus_.publish(update);
+    // Skip even constructing the event when nobody listens: a headless
+    // deployment pays nothing for the publish path.
+    if (bus_.subscriber_count<TrackUpdateEvent>() > 0) {
+        TrackUpdateEvent update;
+        update.time_s = frame_.time_s;
+        update.motion_detected = result_.tof.motion_detected();
+        update.raw = result_.raw;
+        update.smoothed = result_.smoothed;
+        update.processing_seconds = result_.processing_seconds;
+        update.truth = frame_.truth;
+        bus_.publish(update);
+        ++track_updates_published_;
+    }
 
-    for (std::size_t i = 0; i < stages_.size(); ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
-        stages_[i]->on_frame(frame_, result, bus_);
-        const auto t1 = std::chrono::steady_clock::now();
-        const double elapsed = std::chrono::duration<double>(t1 - t0).count();
-        auto& stats = stage_stats_[i];
-        ++stats.frames;
-        stats.total_s += elapsed;
-        stats.max_s = std::max(stats.max_s, elapsed);
+    if (pool_ && stages_.size() > 1) {
+        run_stages_parallel();
+    } else {
+        run_stages_serial();
     }
 
     ++frames_;
     return true;
+}
+
+void Engine::run_stage(std::size_t index, EventBus& bus) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stages_[index]->on_frame(frame_, result_, bus);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+    auto& stats = stage_stats_[index];
+    ++stats.frames;
+    stats.total_s += elapsed;
+    stats.max_s = std::max(stats.max_s, elapsed);
+}
+
+void Engine::run_stages_serial() {
+    for (std::size_t i = 0; i < stages_.size(); ++i) run_stage(i, bus_);
+}
+
+void Engine::run_stages_parallel() {
+    // A stage exception on a previous frame can abort before the replay
+    // loop below; drop any events stranded in the staging slots so they
+    // cannot be delivered alongside this frame's.
+    for (auto& slot : slots_) slot->pending.clear();
+
+    // Fan the concurrency-safe stages out; each publishes into its own
+    // capturing bus (slots_[i]). parallel_for's dynamic index assignment is
+    // fine because stage state and slots are index-disjoint, and its join
+    // provides the happens-before for the replay below.
+    try {
+        pool_->parallel_for(stages_.size(), [this](std::size_t i) {
+            if (!stages_[i]->concurrent_safe()) return;
+            run_stage(i, slots_[i]->staging);
+        });
+    } catch (...) {
+        // parallel_for joined every helper before rethrowing, so sibling
+        // stages that completed have fully-captured slots. Deliver those
+        // before propagating: a fall alert must not vanish because an
+        // unrelated stage threw (the stage's own state already advanced
+        // and would never re-publish it).
+        for (auto& slot : slots_) {
+            for (auto& deferred : slot->pending) deferred(bus_);
+            slot->pending.clear();
+        }
+        throw;
+    }
+
+    // Deterministic delivery: walk the stages in attachment order, replaying
+    // captured events and running the non-concurrent stages inline, so
+    // subscribers observe exactly the serial schedule's event order.
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (stages_[i]->concurrent_safe()) {
+            auto& pending = slots_[i]->pending;
+            for (auto& deferred : pending) deferred(bus_);
+            pending.clear();
+        } else {
+            run_stage(i, bus_);
+        }
+    }
 }
 
 std::size_t Engine::run() {
@@ -76,6 +181,17 @@ std::size_t Engine::run() {
         stage_stats_[i].finish_s += std::chrono::duration<double>(t1 - t0).count();
     }
     return processed;
+}
+
+std::vector<Engine::StageStats> Engine::take_stage_stats() {
+    std::vector<StageStats> snapshot = stage_stats_;
+    for (auto& stats : stage_stats_) {
+        stats.frames = 0;
+        stats.total_s = 0.0;
+        stats.max_s = 0.0;
+        stats.finish_s = 0.0;
+    }
+    return snapshot;
 }
 
 }  // namespace witrack::engine

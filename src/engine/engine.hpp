@@ -1,12 +1,19 @@
 // The streaming Engine: the front door of the library. It pulls frames
-// from any FrameSource, runs the paper's realtime pipeline (TOF ->
-// localization -> smoothing), publishes a TrackUpdateEvent per frame, and
-// drives the attached application stages with per-stage latency accounting
-// -- the paper's < 75 ms budget (Section 7) is now observable per stage.
+// from any FrameSource, runs the paper's realtime pipeline demand-driven
+// (only the steps some attached stage or subscriber asked for -- a TOF-only
+// stage set never pays for localization or Kalman smoothing), publishes a
+// TrackUpdateEvent per frame when anybody listens, and drives the attached
+// application stages with per-stage latency accounting -- the paper's
+// < 75 ms budget (Section 7) is observable per stage.
 //
 //   source (sim | replay | live) --> Engine --> EventBus --> subscribers
 //                                      |
 //                                      +--> AppStages (fall, pointing, ...)
+//
+// With EngineConfig::with_workers(n > 1) the Engine owns a WorkerPool and
+// runs the per-RX TOF chains and the concurrency-safe stages in parallel,
+// joining before the next step(); output (tracks and event delivery order)
+// stays bit-identical to the serial schedule.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/worker_pool.hpp"
+#include "core/pipeline_steps.hpp"
 #include "core/tracker.hpp"
 #include "engine/config.hpp"
 #include "engine/events.hpp"
@@ -41,14 +50,25 @@ class Engine {
         return ref;
     }
 
-    /// Process one frame: pull, track, publish, run stages. False when the
-    /// source is exhausted (stages are NOT finished -- run() does that).
+    /// Process one frame: pull, run the demanded pipeline steps, publish,
+    /// run stages. False when the source is exhausted (stages are NOT
+    /// finished -- run() does that).
     bool step();
 
     /// Stream until the source ends, then finish() every stage so
     /// episode-scoped stages publish their verdicts. Returns the number of
     /// frames processed by this call.
     std::size_t run();
+
+    /// The union of stage demands and event-bus subscriptions that the next
+    /// step() will schedule (already closed over step dependencies). With
+    /// no stages and no TrackUpdateEvent subscribers the Engine assumes a
+    /// headless caller reading tracker() directly and runs everything;
+    /// EngineConfig::outputs overrides the whole computation.
+    core::PipelineOutputs demanded_outputs() const;
+
+    /// Resolved worker count (1 = serial schedule, no pool).
+    std::size_t workers() const { return workers_; }
 
     EventBus& bus() { return bus_; }
     const EventBus& bus() const { return bus_; }
@@ -60,6 +80,10 @@ class Engine {
     const core::PipelineConfig& pipeline_config() const { return pipeline_; }
     const geom::ArrayGeometry& array() const { return source_->array(); }
     std::size_t frames_processed() const { return frames_; }
+
+    /// TrackUpdateEvents actually built and delivered: stays at zero while
+    /// nobody subscribes (the Engine skips constructing the event entirely).
+    std::size_t track_updates_published() const { return track_updates_published_; }
 
     /// Wall-clock accounting per application stage. total_s / mean_s /
     /// max_s cover the per-frame on_frame() calls; the one-shot finish()
@@ -76,16 +100,39 @@ class Engine {
     };
     const std::vector<StageStats>& stage_stats() const { return stage_stats_; }
 
+    /// Snapshot the per-stage stats and reset the running aggregates
+    /// (frames, total_s, max_s, finish_s) so a long-running deployment can
+    /// poll per-window means and p99-ish maxima without restarting the
+    /// Engine. Stage names persist across snapshots.
+    std::vector<StageStats> take_stage_stats();
+
   private:
+    /// Per-stage scratch for the parallel schedule: a capturing bus that
+    /// records the stage's publishes for ordered replay after the join.
+    /// Heap-allocated so the capture sink pointer survives vector growth.
+    struct StageSlot {
+        std::vector<EventBus::DeferredEvent> pending;
+        EventBus staging;
+    };
+
+    void run_stage(std::size_t index, EventBus& bus);
+    void run_stages_serial();
+    void run_stages_parallel();
+
     EngineConfig config_;
     core::PipelineConfig pipeline_;   ///< resolved once (fmcw applied)
     FrameSource* source_;
     EventBus bus_;
+    std::size_t workers_ = 1;
+    std::unique_ptr<common::WorkerPool> pool_;  ///< only when workers_ > 1
     core::WiTrackTracker tracker_;
     std::vector<std::unique_ptr<AppStage>> stages_;
+    std::vector<std::unique_ptr<StageSlot>> slots_;
     std::vector<StageStats> stage_stats_;
+    core::WiTrackTracker::FrameResult result_;  ///< current frame's outputs
     Frame frame_;                     ///< reused across step() calls
     std::size_t frames_ = 0;
+    std::size_t track_updates_published_ = 0;
     bool finished_ = false;           ///< stage finish() already delivered
 };
 

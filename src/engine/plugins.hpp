@@ -26,6 +26,10 @@ class FallMonitorStage : public AppStage {
         : monitor_(config, max_alerts) {}
 
     std::string_view name() const override { return "fall_monitor"; }
+    Inputs required_inputs() const override {
+        return apps::FallMonitor::kRequiredInputs;
+    }
+    bool concurrent_safe() const override { return true; }  ///< self-contained state
     void on_frame(const Frame& frame, const core::WiTrackTracker::FrameResult& result,
                   EventBus& bus) override;
 
@@ -49,6 +53,11 @@ class PointingStage : public AppStage {
         : config_(config), max_frames_(max_frames) {}
 
     std::string_view name() const override { return "pointing"; }
+    /// The gesture analysis consumes the TOF stream alone: with only
+    /// TOF-demanding stages attached, the Engine skips localization and
+    /// smoothing for the whole session.
+    Inputs required_inputs() const override { return Inputs::kTof; }
+    bool concurrent_safe() const override { return true; }  ///< self-contained state
     void attach(const StageContext& context, EventBus& bus) override;
     void on_frame(const Frame& frame, const core::WiTrackTracker::FrameResult& result,
                   EventBus& bus) override;
@@ -72,6 +81,9 @@ class ApplianceController : public AppStage {
         : registry_(&registry), driver_(&driver) {}
 
     std::string_view name() const override { return "appliances"; }
+    /// Purely event-driven: demands no pipeline products at all.
+    Inputs required_inputs() const override { return Inputs::kNone; }
+    bool concurrent_safe() const override { return true; }  ///< on_frame is empty
     void attach(const StageContext& context, EventBus& bus) override;
     void on_frame(const Frame&, const core::WiTrackTracker::FrameResult&,
                   EventBus&) override {}
@@ -94,6 +106,10 @@ class MultiPersonStage : public AppStage {
         : max_people_(max_people) {}
 
     std::string_view name() const override { return "multi_person"; }
+    /// Disambiguates multi-peak TOF observations itself; the single-person
+    /// localization and smoothing steps are dead weight for this workload.
+    Inputs required_inputs() const override { return Inputs::kTof; }
+    bool concurrent_safe() const override { return true; }  ///< self-contained state
     void attach(const StageContext& context, EventBus& bus) override;
     void on_frame(const Frame& frame, const core::WiTrackTracker::FrameResult& result,
                   EventBus& bus) override;

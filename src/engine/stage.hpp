@@ -6,12 +6,20 @@
 
 #include <string_view>
 
+#include "core/pipeline_steps.hpp"
 #include "core/tracker.hpp"
 #include "engine/config.hpp"
 #include "engine/events.hpp"
 #include "engine/frame_source.hpp"
 
 namespace witrack::engine {
+
+/// Demand vocabulary for AppStage::required_inputs(): which pipeline
+/// products the stage consumes (Inputs::kTof, Inputs::kRawPosition,
+/// Inputs::kSmoothedTrack). The Engine unions the demands of every
+/// attached stage (plus event-bus subscriptions) and schedules only the
+/// pipeline steps someone asked for.
+using Inputs = core::PipelineOutputs;
 
 /// Everything a stage may need to build its own estimators, valid for the
 /// lifetime of the Engine that attached it.
@@ -27,6 +35,24 @@ class AppStage {
 
     /// Stable name used in per-stage latency accounting.
     virtual std::string_view name() const = 0;
+
+    /// The pipeline products this stage reads from FrameResult. The default
+    /// demands everything, so existing stages keep seeing the full pipeline;
+    /// override to let the Engine skip undemanded steps (a TOF-only stage
+    /// set never pays for localization or smoothing). Must be stable for
+    /// the lifetime of the stage.
+    virtual Inputs required_inputs() const { return Inputs::kAll; }
+
+    /// Opt-in to the Engine's parallel mode: stages that return true may
+    /// have on_frame() run on a worker thread, concurrently with other
+    /// opted-in stages, joined before the next frame; events they publish
+    /// are delivered after the join, still in stage-attachment order. The
+    /// default is false -- a stage never written for concurrency always
+    /// runs on the engine thread, even under WITRACK_WORKERS -- so thread
+    /// participation is a per-stage declaration, not an ambient flag.
+    /// Opted-in stages must not subscribe from inside on_frame, and must
+    /// not rely on observing same-frame events from earlier stages there.
+    virtual bool concurrent_safe() const { return false; }
 
     /// Called once when the stage is added to an Engine; build estimators
     /// from the context and register any event subscriptions here.
