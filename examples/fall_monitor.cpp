@@ -18,10 +18,11 @@ void run_episode(const char* label, sim::ActivityKind kind, std::uint64_t seed) 
     const auto env = sim::make_through_wall_lab();
     engine::EngineConfig config;
     config.with_through_wall(true).with_seed(seed);
-    engine::SimSource source(config, std::make_unique<sim::ActivityScript>(
-                                         kind, env.bounds, Rng(seed), 24.0));
 
-    engine::Engine eng(config, source);
+    // Owning-source constructor: the episode is one self-contained object.
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::ActivityScript>(
+                                               kind, env.bounds, Rng(seed), 24.0)));
     const auto& stage = eng.emplace_stage<engine::FallMonitorStage>();
     eng.bus().subscribe<engine::FallEvent>([](const engine::FallEvent& event) {
         std::printf("  >>> FALL ALERT at %.1f s: dropped %.0f%% of standing "

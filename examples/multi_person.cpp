@@ -24,9 +24,9 @@ int main() {
         geom::Vec3{-2.0, 4.0, 0}, geom::Vec3{-0.5, 6.5, 0}, 12.0, 1.0);
     auto person2 = std::make_unique<sim::LineWalkScript>(
         geom::Vec3{2.0, 6.5, 0}, geom::Vec3{0.8, 4.0, 0}, 12.0, 1.0);
-    engine::SimSource source(config, std::move(person1), std::move(person2));
 
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::move(person1), std::move(person2)));
     eng.emplace_stage<engine::MultiPersonStage>(2);
     // MultiPersonStage declares required_inputs() = kTof: with no
     // TrackUpdateEvent subscriber the demand-driven scheduler never runs

@@ -45,14 +45,15 @@ int main() {
         engine::EngineConfig config;
         config.with_through_wall(true).with_seed(100 + gesture_seed);
         const geom::Vec3 dir = (target.position - shoulder).normalized();
-        engine::SimSource source(config, std::make_unique<sim::PointingScript>(
-                                             stand, dir, Rng(gesture_seed)));
+        auto source = std::make_unique<engine::SimSource>(
+            config,
+            std::make_unique<sim::PointingScript>(stand, dir, Rng(gesture_seed)));
         gesture_seed += 11;
 
         // PointingStage demands only TOF and ApplianceController nothing at
         // all, so each gesture engine schedules just the TOF step --
         // localization and smoothing never run in this application.
-        engine::Engine eng(config, source);
+        engine::Engine eng(config, std::move(source));
         eng.emplace_stage<engine::PointingStage>();
         const auto& controller =
             eng.emplace_stage<engine::ApplianceController>(registry, driver);

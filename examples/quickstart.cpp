@@ -22,14 +22,17 @@ int main() {
 
     // --- 2. Source: simulate a 10 s random walk through the lab. ---
     const auto env = sim::make_through_wall_lab();
-    engine::SimSource source(config, std::make_unique<sim::RandomWaypointWalk>(
-                                         env.bounds, 10.0, Rng(2024)));
+    auto source = std::make_unique<engine::SimSource>(
+        config, std::make_unique<sim::RandomWaypointWalk>(env.bounds, 10.0,
+                                                          Rng(2024)));
 
     // --- 3. Engine: subscribe to track updates and stream. ---
-    // The scheduler is demand-driven: subscribing to TrackUpdateEvent is
-    // what makes the Engine run the full TOF -> localize -> smooth chain
-    // (stages and subscribers that only need TOF would skip the rest).
-    engine::Engine eng(config, source);
+    // The Engine owns its source (the preferred constructor -- no lifetime
+    // fine print), and the scheduler is demand-driven: subscribing to
+    // TrackUpdateEvent is what makes it run the full TOF -> localize ->
+    // smooth chain (stages and subscribers that only need TOF would skip
+    // the rest).
+    engine::Engine eng(config, std::move(source));
 
     std::printf("time     estimate (x, y, z)         truth (x, y, z)        err\n");
     std::printf("----------------------------------------------------------------\n");

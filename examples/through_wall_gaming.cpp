@@ -48,10 +48,9 @@ int main() {
     // statistics below) are unchanged -- only the wall clock moves.
     config.with_through_wall(true).with_seed(55).with_workers(2);
     const auto env = sim::make_through_wall_lab();
-    engine::SimSource source(config, std::make_unique<sim::RandomWaypointWalk>(
-                                         env.bounds, 12.0, Rng(55)));
-
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::RandomWaypointWalk>(
+                                               env.bounds, 12.0, Rng(55))));
     std::vector<double> errors;
     int index = 0;
     eng.bus().subscribe<engine::TrackUpdateEvent>(

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verify in both configurations, warnings-as-errors, plus the
-# standalone header self-sufficiency audit. CI runs exactly this.
+# Tier-1 verify in both configurations, warnings-as-errors, Release example
+# smoke runs, plus the standalone header self-sufficiency audit. CI's main
+# job invokes this script directly (.github/workflows/ci.yml), so the two
+# cannot diverge; the sanitizer jobs in CI add ASan/UBSan/TSan configs on
+# top of this.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,6 +14,13 @@ for config in Debug Release; do
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DWITRACK_WERROR=ON
   cmake --build "${build_dir}" -j
   (cd "${build_dir}" && ctest --output-on-failure -j)
+done
+
+echo "=== example smoke (Release) ==="
+for example in build-release/example_*; do
+  [ -x "${example}" ] || continue
+  echo "--- ${example}"
+  "${example}" > /dev/null
 done
 
 echo "=== header self-sufficiency ==="

@@ -9,6 +9,13 @@
 // after every index has finished, and the first exception thrown by the
 // body is rethrown on the caller. Do not call parallel_for or submit from
 // inside a pool job: jobs blocking on the pool's own queue can deadlock.
+//
+// Multi-client: one pool may be shared by any number of caller threads
+// (the fleet EngineHost hands one pool to every session). Concurrent
+// parallel_for calls interleave their jobs on the queue but are fully
+// independent -- each call tracks its own indices, joins only its own
+// helpers, and rethrows only its own body's exception, so one client's
+// failure never poisons another (tests/test_fleet.cpp exercises this).
 #pragma once
 
 #include <atomic>

@@ -69,8 +69,11 @@ std::string to_string(PipelineOutputs v);
 /// FFT/contour/denoise chains out across threads (bit-identical to serial).
 class TofStep {
   public:
-    TofStep(const PipelineConfig& config, std::size_t num_rx)
-        : estimator_(config, num_rx) {}
+    /// `plans` is the FFT plan cache shared by the range transforms
+    /// (nullptr = process-global), threaded down to the SweepProcessorBank.
+    TofStep(const PipelineConfig& config, std::size_t num_rx,
+            dsp::FftPlanCache* plans = nullptr)
+        : estimator_(config, num_rx, plans) {}
 
     void run(const FrameBuffer& frame, double time_s, TofFrame& out) {
         out = estimator_.process_frame(frame, time_s);

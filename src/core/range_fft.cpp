@@ -18,10 +18,11 @@ std::size_t checked_fft_size(const FmcwParams& fmcw, std::size_t fft_size) {
 }  // namespace
 
 SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
-                               std::size_t fft_size)
+                               std::size_t fft_size, dsp::FftPlanCache* plans)
     : fmcw_(fmcw),
       fft_size_(checked_fft_size(fmcw, fft_size)),
-      rfft_(fft_size_) {
+      rfft_((plans != nullptr ? *plans : dsp::FftPlanCache::global())
+                .real_plan(fft_size_)) {
     const std::size_t n = fmcw_.samples_per_sweep();
     window_ = dsp::make_window(window, n);
     // Normalize to unity coherent gain so thresholds are window-independent.
@@ -31,7 +32,7 @@ SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
 }
 
 void SweepProcessor::transform(RangeProfile& out) {
-    rfft_.forward(averaged_, out.spectrum, scratch_);
+    rfft_->forward(averaged_, out.spectrum, scratch_);
     // One FFT bin spans fs/Nfft in beat frequency; Eq. 4 maps that to
     // round-trip meters via C/slope.
     const double bin_hz = fmcw_.sample_rate_hz / static_cast<double>(fft_size_);
@@ -67,14 +68,16 @@ void SweepProcessor::process_frame_into(const FrameBuffer& frame,
 
 SweepProcessorBank::SweepProcessorBank(const FmcwParams& fmcw,
                                        dsp::WindowType window,
-                                       std::size_t fft_size, std::size_t lanes)
-    : fmcw_(fmcw), window_(window), fft_size_(fft_size) {
+                                       std::size_t fft_size, std::size_t lanes,
+                                       dsp::FftPlanCache* plans)
+    : fmcw_(fmcw), window_(window), fft_size_(fft_size), plans_(plans) {
     ensure_lanes(lanes == 0 ? 1 : lanes);
 }
 
 void SweepProcessorBank::ensure_lanes(std::size_t count) {
     lanes_.reserve(count);
-    while (lanes_.size() < count) lanes_.emplace_back(fmcw_, window_, fft_size_);
+    while (lanes_.size() < count)
+        lanes_.emplace_back(fmcw_, window_, fft_size_, plans_);
 }
 
 }  // namespace witrack::core

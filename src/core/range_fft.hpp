@@ -11,12 +11,14 @@
 
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/constants.hpp"
 #include "common/frame_buffer.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan_cache.hpp"
 #include "dsp/window.hpp"
 
 namespace witrack::core {
@@ -32,14 +34,17 @@ struct RangeProfile {
 };
 
 /// Not const-callable and not thread-safe: both entry points reuse the
-/// owned averaging buffer and FFT scratch, and the FFT plan makes the class
-/// move-only. Use one SweepProcessor per thread.
+/// owned averaging buffer and FFT scratch. Use one SweepProcessor per
+/// thread; the FFT *plan* itself is immutable and shared through an
+/// FftPlanCache, so any number of processors (lanes, sessions) transform
+/// with one set of twiddle tables.
 class SweepProcessor {
   public:
     /// fft_size 0 = exactly one sweep (paper-literal); larger values
     /// zero-pad for speed and finer bin spacing (same C/2B resolution).
+    /// `plans` selects the plan cache (nullptr = the process-global one).
     SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
-                   std::size_t fft_size = 0);
+                   std::size_t fft_size = 0, dsp::FftPlanCache* plans = nullptr);
 
     /// Average and transform `sweep_count` back-to-back sweeps of
     /// samples_per_sweep() doubles (e.g. FrameBuffer::antenna), writing into
@@ -56,6 +61,11 @@ class SweepProcessor {
     const FmcwParams& params() const { return fmcw_; }
     std::size_t fft_size() const { return fft_size_; }
 
+    /// The shared immutable plan this processor transforms with. Two
+    /// processors built against the same cache and size report the same
+    /// pointer -- the observable proof that the tables are not duplicated.
+    const dsp::RealFft* plan() const { return rfft_.get(); }
+
   private:
     /// Window the averaged sweep in averaged_ and FFT it into `out`.
     void transform(RangeProfile& out);
@@ -64,7 +74,7 @@ class SweepProcessor {
     std::size_t fft_size_ = 0;
     std::vector<double> window_;
     std::vector<double> averaged_;  ///< fft_size_ doubles, zero-padded tail
-    dsp::RealFft rfft_;
+    std::shared_ptr<const dsp::RealFft> rfft_;  ///< shared via FftPlanCache
     dsp::FftScratch scratch_;
 };
 
@@ -76,10 +86,14 @@ class SweepProcessor {
 /// the parallel output -- bit-identical to lane 0 running alone.
 class SweepProcessorBank {
   public:
+    /// `plans` is threaded through to every lane (nullptr = the global
+    /// cache), so all lanes of all banks share one plan per size.
     SweepProcessorBank(const FmcwParams& fmcw, dsp::WindowType window,
-                       std::size_t fft_size = 0, std::size_t lanes = 1);
+                       std::size_t fft_size = 0, std::size_t lanes = 1,
+                       dsp::FftPlanCache* plans = nullptr);
 
     SweepProcessor& lane(std::size_t i) { return lanes_[i]; }
+    const SweepProcessor& lane(std::size_t i) const { return lanes_[i]; }
     std::size_t lanes() const { return lanes_.size(); }
 
     /// Grow the bank to at least `count` lanes (never shrinks).
@@ -91,6 +105,7 @@ class SweepProcessorBank {
     FmcwParams fmcw_;
     dsp::WindowType window_;
     std::size_t fft_size_;
+    dsp::FftPlanCache* plans_;
     std::vector<SweepProcessor> lanes_;
 };
 

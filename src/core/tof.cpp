@@ -8,9 +8,10 @@
 
 namespace witrack::core {
 
-TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx)
+TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx,
+                           dsp::FftPlanCache* plans)
     : config_(config),
-      processors_(config.fmcw, config.window, config.fft_size),
+      processors_(config.fmcw, config.window, config.fft_size, 1, plans),
       contour_(config) {
     if (num_rx == 0) throw std::invalid_argument("TofEstimator: need >= 1 antenna");
     per_rx_.reserve(num_rx);

@@ -74,7 +74,12 @@ struct TofFrame {
 
 class TofEstimator {
   public:
-    TofEstimator(const PipelineConfig& config, std::size_t num_rx);
+    /// `plans` selects the FFT plan cache shared by the per-antenna range
+    /// transforms (nullptr = the process-global FftPlanCache), so many
+    /// estimators -- e.g. one per tracking session in a fleet host -- never
+    /// duplicate twiddle tables.
+    TofEstimator(const PipelineConfig& config, std::size_t num_rx,
+                 dsp::FftPlanCache* plans = nullptr);
 
     /// Process one frame of raw sweeps (contiguous rx-major storage). This
     /// is the realtime hot path: zero heap allocations at steady state.
@@ -94,6 +99,9 @@ class TofEstimator {
 
     const PipelineConfig& config() const { return config_; }
     std::size_t num_rx() const { return per_rx_.size(); }
+
+    /// The FFT lane bank (exposes the shared plan for sharing proofs).
+    const SweepProcessorBank& processors() const { return processors_; }
 
     void reset();
 

@@ -6,9 +6,10 @@
 namespace witrack::core {
 
 WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
-                               const geom::ArrayGeometry& array)
+                               const geom::ArrayGeometry& array,
+                               dsp::FftPlanCache* plans)
     : config_(config),
-      tof_step_(config, array.rx.size()),
+      tof_step_(config, array.rx.size(), plans),
       localize_step_(array, config),
       smooth_step_(config) {}
 

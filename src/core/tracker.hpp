@@ -21,7 +21,11 @@ namespace witrack::core {
 
 class WiTrackTracker {
   public:
-    WiTrackTracker(const PipelineConfig& config, const geom::ArrayGeometry& array);
+    /// `plans` selects the FFT plan cache for the TOF step's range
+    /// transforms (nullptr = the process-global FftPlanCache): trackers of
+    /// many concurrent sessions share one set of immutable plan tables.
+    WiTrackTracker(const PipelineConfig& config, const geom::ArrayGeometry& array,
+                   dsp::FftPlanCache* plans = nullptr);
 
     struct FrameResult {
         TofFrame tof;                       ///< per-antenna observations

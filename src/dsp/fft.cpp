@@ -1,9 +1,9 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "dsp/fft_plan_cache.hpp"
 
 namespace witrack::dsp {
 
@@ -145,14 +145,28 @@ std::vector<cplx> Fft::forward_real(const std::vector<double>& input) const {
 RealFft::RealFft(std::size_t n) : n_(n) {
     if (n_ == 0) throw std::invalid_argument("RealFft: size must be positive");
     if (n_ % 2 == 0 && n_ >= 2) {
-        half_plan_ = std::make_unique<Fft>(n_ / 2);
-        twiddles_.resize(n_ / 2);
-        for (std::size_t k = 0; k < n_ / 2; ++k) {
-            const double angle = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
-            twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
-        }
+        half_plan_ = std::make_shared<const Fft>(n_ / 2);
+        build_twiddles();
     } else {
-        full_plan_ = std::make_unique<Fft>(n_);
+        full_plan_ = std::make_shared<const Fft>(n_);
+    }
+}
+
+RealFft::RealFft(std::size_t n, FftPlanCache& cache) : n_(n) {
+    if (n_ == 0) throw std::invalid_argument("RealFft: size must be positive");
+    if (n_ % 2 == 0 && n_ >= 2) {
+        half_plan_ = cache.complex_plan(n_ / 2);
+        build_twiddles();
+    } else {
+        full_plan_ = cache.complex_plan(n_);
+    }
+}
+
+void RealFft::build_twiddles() {
+    twiddles_.resize(n_ / 2);
+    for (std::size_t k = 0; k < n_ / 2; ++k) {
+        const double angle = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
+        twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
     }
 }
 
@@ -193,12 +207,9 @@ void RealFft::forward(std::span<const double> input, std::vector<cplx>& out,
 }
 
 const Fft& fft_plan(std::size_t n) {
-    static std::mutex mutex;
-    static std::unordered_map<std::size_t, std::unique_ptr<Fft>> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(n);
-    if (it == cache.end()) it = cache.emplace(n, std::make_unique<Fft>(n)).first;
-    return *it->second;
+    // The global cache retains every plan it hands out, so the reference
+    // stays valid for the life of the process.
+    return *FftPlanCache::global().complex_plan(n);
 }
 
 std::vector<cplx> fft_forward(std::vector<cplx> data) {

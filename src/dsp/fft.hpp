@@ -15,6 +15,8 @@
 
 namespace witrack::dsp {
 
+class FftPlanCache;
+
 using cplx = std::complex<double>;
 
 /// Caller-owned scratch space for allocation-free transforms. Buffers grow
@@ -85,6 +87,12 @@ class RealFft {
   public:
     explicit RealFft(std::size_t n);
 
+    /// Cache-backed variant: the internal half-length (or odd-N fallback)
+    /// complex plan is obtained from `cache` instead of built privately, so
+    /// RealFft instances of one size -- and complex-plan consumers of the
+    /// half size -- share tables. Identical arithmetic either way.
+    RealFft(std::size_t n, FftPlanCache& cache);
+
     std::size_t size() const { return n_; }
 
     /// Full conjugate-symmetric spectrum of length size() into `out`
@@ -93,15 +101,17 @@ class RealFft {
                  FftScratch& scratch) const;
 
   private:
+    void build_twiddles();
+
     std::size_t n_ = 0;
-    std::unique_ptr<Fft> half_plan_;  ///< N/2-point plan (even N)
-    std::unique_ptr<Fft> full_plan_;  ///< fallback plan (odd N)
-    std::vector<cplx> twiddles_;      ///< exp(-2*pi*i*k/N), k in [0, N/2)
+    std::shared_ptr<const Fft> half_plan_;  ///< N/2-point plan (even N)
+    std::shared_ptr<const Fft> full_plan_;  ///< fallback plan (odd N)
+    std::vector<cplx> twiddles_;            ///< exp(-2*pi*i*k/N), k in [0, N/2)
 };
 
-/// Process-wide plan cache: returns a shared immutable plan for size n.
-/// The range pipeline transforms thousands of sweeps of identical length,
-/// so caching the plan dominates performance.
+/// Process-wide plan lookup (FftPlanCache::global()): returns a shared
+/// immutable plan for size n. The range pipeline transforms thousands of
+/// sweeps of identical length, so caching the plan dominates performance.
 const Fft& fft_plan(std::size_t n);
 
 /// Convenience wrappers using the plan cache.

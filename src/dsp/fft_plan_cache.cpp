@@ -1,0 +1,45 @@
+#include "dsp/fft_plan_cache.hpp"
+
+namespace witrack::dsp {
+
+std::shared_ptr<const Fft> FftPlanCache::complex_plan(std::size_t n) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = complex_.find(n);
+        if (it != complex_.end()) return it->second;
+    }
+    // Build outside the lock: table construction is the expensive part, and
+    // a RealFft built below re-enters this method for its half plan.
+    auto plan = std::make_shared<const Fft>(n);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // First insert wins, so every caller observes one pointer per size even
+    // when two threads raced on the build.
+    auto [it, inserted] = complex_.emplace(n, std::move(plan));
+    (void)inserted;
+    return it->second;
+}
+
+std::shared_ptr<const RealFft> FftPlanCache::real_plan(std::size_t n) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = real_.find(n);
+        if (it != real_.end()) return it->second;
+    }
+    auto plan = std::make_shared<const RealFft>(n, *this);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = real_.emplace(n, std::move(plan));
+    (void)inserted;
+    return it->second;
+}
+
+std::size_t FftPlanCache::cached_plans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return complex_.size() + real_.size();
+}
+
+FftPlanCache& FftPlanCache::global() {
+    static FftPlanCache cache;
+    return cache;
+}
+
+}  // namespace witrack::dsp

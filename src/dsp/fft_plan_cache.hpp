@@ -1,0 +1,50 @@
+// Shared FFT plan cache: one immutable plan per transform size, handed out
+// as shared_ptr so any number of SweepProcessor lanes -- across any number
+// of tracking sessions in one process -- reuse the same twiddle tables,
+// Bluestein chirp spectra and bit-reversal permutations instead of each
+// recomputing them. Plans are immutable after construction (Fft/RealFft
+// expose only const entry points; all per-call storage lives in the
+// caller's FftScratch), so sharing one plan between threads is safe.
+//
+// The process-global instance (FftPlanCache::global()) is the default for
+// every pipeline component; an EngineHost may carry its own cache when a
+// deployment wants per-tenant isolation of the (tiny) table memory.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "dsp/fft.hpp"
+
+namespace witrack::dsp {
+
+class FftPlanCache {
+  public:
+    FftPlanCache() = default;
+    FftPlanCache(const FftPlanCache&) = delete;
+    FftPlanCache& operator=(const FftPlanCache&) = delete;
+
+    /// Shared complex plan for size n (built on first request). Thread-safe;
+    /// concurrent first requests for the same size converge on one plan.
+    std::shared_ptr<const Fft> complex_plan(std::size_t n);
+
+    /// Shared real-input plan for size n. Its internal half-length (or odd-N
+    /// fallback) complex plan comes from this cache too, so a RealFft(2500)
+    /// and any other consumer of Fft(1250) share tables.
+    std::shared_ptr<const RealFft> real_plan(std::size_t n);
+
+    /// Distinct plans currently cached (complex + real), for telemetry.
+    std::size_t cached_plans() const;
+
+    /// The process-wide cache every component defaults to.
+    static FftPlanCache& global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::size_t, std::shared_ptr<const Fft>> complex_;
+    std::unordered_map<std::size_t, std::shared_ptr<const RealFft>> real_;
+};
+
+}  // namespace witrack::dsp

@@ -17,6 +17,14 @@
 
 namespace witrack::engine {
 
+/// Resolve a configured worker count to the schedule actually used:
+/// 0 defers to the WITRACK_WORKERS environment variable so CI (and
+/// operators) can flip a whole binary to the parallel schedule without
+/// touching call sites; absent, malformed or absurd (> 256) values mean
+/// serial (1). The one definition shared by the standalone Engine and
+/// EngineHost, so both resolve identically.
+std::size_t resolve_worker_count(std::size_t configured);
+
 struct EngineConfig {
     /// FMCW sweep geometry: the single source of truth shared by the
     /// simulator, the hardware front end and the processing pipeline.

@@ -3,16 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace witrack::engine {
 
-namespace {
-
-/// workers == 0 defers to the WITRACK_WORKERS environment variable so CI
-/// (and operators) can switch a whole binary to the parallel schedule
-/// without touching call sites; absent or unparsable means serial.
-std::size_t resolve_workers(std::size_t configured) {
+std::size_t resolve_worker_count(std::size_t configured) {
     if (configured > 0) return configured;
     const char* env = std::getenv("WITRACK_WORKERS");
     if (env == nullptr) return 1;
@@ -25,30 +21,65 @@ std::size_t resolve_workers(std::size_t configured) {
     return static_cast<std::size_t>(value);
 }
 
-}  // namespace
+const char* to_string(SessionState state) {
+    switch (state) {
+        case SessionState::kAdmitted: return "admitted";
+        case SessionState::kRunning: return "running";
+        case SessionState::kDraining: return "draining";
+        case SessionState::kFinished: return "finished";
+        case SessionState::kEvicted: return "evicted";
+    }
+    return "unknown";
+}
 
 Engine::Engine(EngineConfig config, FrameSource& source)
+    : Engine(std::move(config), nullptr, &source, nullptr, false, nullptr) {}
+
+Engine::Engine(EngineConfig config, std::unique_ptr<FrameSource> source)
+    : Engine(std::move(config), std::move(source), nullptr, nullptr, false,
+             nullptr) {}
+
+Engine::Engine(EngineConfig config, std::unique_ptr<FrameSource> source,
+               common::WorkerPool* shared_pool, dsp::FftPlanCache* plans)
+    : Engine(std::move(config), std::move(source), nullptr, shared_pool, true,
+             plans) {}
+
+Engine::Engine(EngineConfig config, std::unique_ptr<FrameSource> owned,
+               FrameSource* borrowed, common::WorkerPool* shared_pool,
+               bool pool_injected, dsp::FftPlanCache* plans)
     : config_(std::move(config)),
+      owned_source_(std::move(owned)),
+      source_([&]() -> FrameSource* {
+          FrameSource* source =
+              owned_source_ != nullptr ? owned_source_.get() : borrowed;
+          if (source == nullptr)
+              throw std::invalid_argument("Engine: null FrameSource");
+          return source;
+      }()),
       pipeline_([&] {
           // The source knows the FMCW parameters its sweeps were captured
           // with (a replayed recording carries its own); they override the
           // config so the pipeline can never process with the wrong sweep
           // geometry.
           auto pipeline = config_.pipeline_config();
-          pipeline.fmcw = source.fmcw();
+          pipeline.fmcw = source_->fmcw();
           return pipeline;
       }()),
-      source_(&source),
-      workers_(resolve_workers(config_.workers)),
-      tracker_(pipeline_, source.array()) {
+      workers_(pool_injected
+                   ? (shared_pool != nullptr ? shared_pool->size() : 1)
+                   : resolve_worker_count(config_.workers)),
+      tracker_(pipeline_, source_->array(), plans) {
     // Keep the stored config coherent with the resolved pipeline: stages
     // and subscribers reading config().fmcw must see what the pipeline
     // actually runs with.
     config_.fmcw = pipeline_.fmcw;
-    if (workers_ > 1) {
+    if (pool_injected) {
+        active_pool_ = shared_pool;  // host-owned; possibly nullptr = serial
+    } else if (workers_ > 1) {
         pool_ = std::make_unique<common::WorkerPool>(workers_);
-        tracker_.set_worker_pool(pool_.get());
+        active_pool_ = pool_.get();
     }
+    if (active_pool_ != nullptr) tracker_.set_worker_pool(active_pool_);
 }
 
 void Engine::add_stage(std::unique_ptr<AppStage> stage) {
@@ -79,7 +110,19 @@ core::PipelineOutputs Engine::demanded_outputs() const {
 }
 
 bool Engine::step() {
-    if (!source_->next(frame_)) return false;
+    // Finished and Evicted are terminal: once the stages' episode verdicts
+    // were delivered (or the session was removed), no further frame may
+    // flow -- post-verdict frames could never get episode closure.
+    if (state_ == SessionState::kFinished || state_ == SessionState::kEvicted)
+        return false;
+    if (!source_->next(frame_)) {
+        // Source exhausted: the session drains (stages still owe their
+        // episode-scoped finish() work).
+        if (state_ == SessionState::kAdmitted || state_ == SessionState::kRunning)
+            state_ = SessionState::kDraining;
+        return false;
+    }
+    if (state_ == SessionState::kAdmitted) state_ = SessionState::kRunning;
 
     result_ = tracker_.process_frame(frame_.sweeps, frame_.time_s,
                                      demanded_outputs());
@@ -98,7 +141,7 @@ bool Engine::step() {
         ++track_updates_published_;
     }
 
-    if (pool_ && stages_.size() > 1) {
+    if (active_pool_ != nullptr && stages_.size() > 1) {
         run_stages_parallel();
     } else {
         run_stages_serial();
@@ -134,7 +177,7 @@ void Engine::run_stages_parallel() {
     // fine because stage state and slots are index-disjoint, and its join
     // provides the happens-before for the replay below.
     try {
-        pool_->parallel_for(stages_.size(), [this](std::size_t i) {
+        active_pool_->parallel_for(stages_.size(), [this](std::size_t i) {
             if (!stages_[i]->concurrent_safe()) return;
             run_stage(i, slots_[i]->staging);
         });
@@ -168,9 +211,16 @@ void Engine::run_stages_parallel() {
 std::size_t Engine::run() {
     std::size_t processed = 0;
     while (step()) ++processed;
+    finish();
+    return processed;
+}
+
+void Engine::finish() {
     // Stages finish once per Engine: a second run() (or run() after a
-    // manual step() loop) must not re-publish episode events.
-    if (finished_) return processed;
+    // manual step() loop) must not re-publish episode events. An evicted
+    // session's episode was aborted, not completed -- its stages never
+    // publish verdicts computed from a half-processed stream.
+    if (finished_ || state_ == SessionState::kEvicted) return;
     finished_ = true;
     for (std::size_t i = 0; i < stages_.size(); ++i) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -180,7 +230,7 @@ std::size_t Engine::run() {
         // separately so the per-frame mean/max stay meaningful.
         stage_stats_[i].finish_s += std::chrono::duration<double>(t1 - t0).count();
     }
-    return processed;
+    state_ = SessionState::kFinished;
 }
 
 std::vector<Engine::StageStats> Engine::take_stage_stats() {

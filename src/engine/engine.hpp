@@ -1,22 +1,28 @@
-// The streaming Engine: the front door of the library. It pulls frames
-// from any FrameSource, runs the paper's realtime pipeline demand-driven
-// (only the steps some attached stage or subscriber asked for -- a TOF-only
-// stage set never pays for localization or Kalman smoothing), publishes a
-// TrackUpdateEvent per frame when anybody listens, and drives the attached
-// application stages with per-stage latency accounting -- the paper's
-// < 75 ms budget (Section 7) is observable per stage.
+// The streaming Engine: the per-session unit of the library. It pulls
+// frames from any FrameSource, runs the paper's realtime pipeline
+// demand-driven (only the steps some attached stage or subscriber asked
+// for -- a TOF-only stage set never pays for localization or Kalman
+// smoothing), publishes a TrackUpdateEvent per frame when anybody listens,
+// and drives the attached application stages with per-stage latency
+// accounting -- the paper's < 75 ms budget (Section 7) is observable per
+// stage.
 //
 //   source (sim | replay | live) --> Engine --> EventBus --> subscribers
 //                                      |
 //                                      +--> AppStages (fall, pointing, ...)
 //
-// With EngineConfig::with_workers(n > 1) the Engine owns a WorkerPool and
-// runs the per-RX TOF chains and the concurrency-safe stages in parallel,
-// joining before the next step(); output (tracks and event delivery order)
-// stays bit-identical to the serial schedule.
+// Standalone, EngineConfig::with_workers(n > 1) makes the Engine own a
+// private WorkerPool and run the per-RX TOF chains and the
+// concurrency-safe stages in parallel, joining before the next step();
+// output (tracks and event delivery order) stays bit-identical to the
+// serial schedule. Inside an engine::EngineHost the Engine is one session
+// of a fleet: the host owns the (shared) WorkerPool and the FFT plan
+// cache, injects both at admission, and drives step() round-robin -- see
+// engine/host.hpp.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -32,10 +38,51 @@
 
 namespace witrack::engine {
 
+/// Lifecycle of one tracking session:
+///
+///   Admitted --> Running --> Draining --> Finished
+///       \____________\____________\-----> Evicted
+///
+/// Admitted: constructed (or queued by a host at capacity), no frame
+/// processed yet. Running: frames flowing. Draining: the source is
+/// exhausted but the stages' episode-scoped finish() work has not been
+/// delivered. Finished: finish() done. Evicted: terminally removed by an
+/// EngineHost (backpressure, a faulting stage, or operator request) --
+/// episode finish() work is NOT delivered for evicted sessions.
+/// A standalone Engine walks the same machine driving itself (step()/run()
+/// advance the state); it simply never reaches Evicted.
+enum class SessionState : std::uint8_t {
+    kAdmitted,
+    kRunning,
+    kDraining,
+    kFinished,
+    kEvicted,
+};
+
+/// "admitted" / "running" / "draining" / "finished" / "evicted".
+const char* to_string(SessionState state);
+
 class Engine {
   public:
-    /// The source is borrowed and must outlive the Engine.
+    /// DEPRECATED constructor: the source is borrowed and must outlive the
+    /// Engine -- a dangling source is the classic lifetime bug of this API.
+    /// Prefer the owning overload below; this one remains only for existing
+    /// callers whose source outlives the Engine by construction.
     Engine(EngineConfig config, FrameSource& source);
+
+    /// Preferred: the Engine owns its source, so the session is one
+    /// self-contained object with no lifetime fine print (and the shape an
+    /// EngineHost admits). Throws std::invalid_argument on a null source.
+    Engine(EngineConfig config, std::unique_ptr<FrameSource> source);
+
+    /// Fleet-session constructor (what EngineHost::admit uses): worker
+    /// parallelism comes from the externally owned `shared_pool`
+    /// (nullptr = serial; EngineConfig::workers and WITRACK_WORKERS are
+    /// ignored -- the host owns the parallelism decision), and FFT plans
+    /// come from `plans` (nullptr = the process-global FftPlanCache). The
+    /// pool and cache are borrowed and must outlive the Engine.
+    Engine(EngineConfig config, std::unique_ptr<FrameSource> source,
+           common::WorkerPool* shared_pool, dsp::FftPlanCache* plans);
 
     /// Attach an application stage (attach() runs immediately).
     void add_stage(std::unique_ptr<AppStage> stage);
@@ -51,14 +98,21 @@ class Engine {
     }
 
     /// Process one frame: pull, run the demanded pipeline steps, publish,
-    /// run stages. False when the source is exhausted (stages are NOT
-    /// finished -- run() does that).
+    /// run stages. False when the source is exhausted (the session enters
+    /// Draining; stages are NOT finished -- finish() or run() does that)
+    /// or when the session reached a terminal state (Finished/Evicted: no
+    /// further frames may flow once episode verdicts were delivered).
     bool step();
 
-    /// Stream until the source ends, then finish() every stage so
-    /// episode-scoped stages publish their verdicts. Returns the number of
-    /// frames processed by this call.
+    /// Stream until the source ends, then finish() every stage. Returns the
+    /// number of frames processed by this call.
     std::size_t run();
+
+    /// Deliver every stage's episode-scoped finish() work exactly once and
+    /// move the session to Finished. Idempotent; run() calls it, and an
+    /// EngineHost calls it when a session drains. A no-op on an evicted
+    /// session: its episode was aborted, so no verdicts are published.
+    void finish();
 
     /// The union of stage demands and event-bus subscriptions that the next
     /// step() will schedule (already closed over step dependencies). With
@@ -67,8 +121,15 @@ class Engine {
     /// EngineConfig::outputs overrides the whole computation.
     core::PipelineOutputs demanded_outputs() const;
 
-    /// Resolved worker count (1 = serial schedule, no pool).
+    /// Resolved worker count (1 = serial schedule; for a host-injected
+    /// shared pool this is the pool's thread count).
     std::size_t workers() const { return workers_; }
+
+    /// Session identity within an EngineHost (0 for a standalone Engine).
+    std::uint64_t session_id() const { return session_id_; }
+
+    /// Where this session is in its lifecycle (see SessionState).
+    SessionState session_state() const { return state_; }
 
     EventBus& bus() { return bus_; }
     const EventBus& bus() const { return bus_; }
@@ -107,6 +168,16 @@ class Engine {
     std::vector<StageStats> take_stage_stats();
 
   private:
+    friend class EngineHost;  ///< admission identity + eviction transitions
+
+    /// Delegation target of every public constructor. Exactly one of
+    /// `owned` / `borrowed` is set; `pool_injected` distinguishes "the host
+    /// owns the parallelism decision" (shared_pool authoritative, possibly
+    /// nullptr = serial) from "resolve EngineConfig::workers ourselves".
+    Engine(EngineConfig config, std::unique_ptr<FrameSource> owned,
+           FrameSource* borrowed, common::WorkerPool* shared_pool,
+           bool pool_injected, dsp::FftPlanCache* plans);
+
     /// Per-stage scratch for the parallel schedule: a capturing bus that
     /// records the stage's publishes for ordered replay after the join.
     /// Heap-allocated so the capture sink pointer survives vector growth.
@@ -119,12 +190,17 @@ class Engine {
     void run_stages_serial();
     void run_stages_parallel();
 
+    void set_session_id(std::uint64_t id) { session_id_ = id; }
+    void mark_evicted() { state_ = SessionState::kEvicted; }
+
     EngineConfig config_;
+    std::unique_ptr<FrameSource> owned_source_;  ///< owning ctor only
+    FrameSource* source_;             ///< owned_source_.get() or borrowed
     core::PipelineConfig pipeline_;   ///< resolved once (fmcw applied)
-    FrameSource* source_;
     EventBus bus_;
     std::size_t workers_ = 1;
-    std::unique_ptr<common::WorkerPool> pool_;  ///< only when workers_ > 1
+    std::unique_ptr<common::WorkerPool> pool_;  ///< private pool (standalone)
+    common::WorkerPool* active_pool_ = nullptr; ///< private or host-shared
     core::WiTrackTracker tracker_;
     std::vector<std::unique_ptr<AppStage>> stages_;
     std::vector<std::unique_ptr<StageSlot>> slots_;
@@ -134,6 +210,8 @@ class Engine {
     std::size_t frames_ = 0;
     std::size_t track_updates_published_ = 0;
     bool finished_ = false;           ///< stage finish() already delivered
+    std::uint64_t session_id_ = 0;    ///< assigned by EngineHost::admit
+    SessionState state_ = SessionState::kAdmitted;
 };
 
 }  // namespace witrack::engine

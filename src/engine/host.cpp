@@ -1,0 +1,286 @@
+#include "engine/host.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace witrack::engine {
+
+namespace {
+
+double steady_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+EngineHost::EngineHost(HostConfig config)
+    : config_(config),
+      workers_(resolve_worker_count(config.workers)),
+      plans_(config.plan_cache != nullptr ? config.plan_cache
+                                          : &dsp::FftPlanCache::global()) {
+    if (config_.max_sessions == 0)
+        throw std::invalid_argument("EngineHost: max_sessions must be >= 1");
+    if (workers_ > 1) pool_ = std::make_unique<common::WorkerPool>(workers_);
+    window_started_s_ = steady_seconds();
+}
+
+SessionId EngineHost::admit(std::string name, EngineConfig config,
+                            std::unique_ptr<FrameSource> source) {
+    const bool full = active_sessions() >= config_.max_sessions;
+    if (full && !config_.queue_when_full)
+        throw std::runtime_error("EngineHost: admission rejected, " +
+                                 std::to_string(config_.max_sessions) +
+                                 " sessions already active");
+
+    auto session = std::make_unique<Session>();
+    session->id = next_id_++;
+    session->name = std::move(name);
+    session->queued = full;
+    // The fleet-session Engine: parallelism from the shared pool (the
+    // host's decision, not the session config's), FFT plans from the shared
+    // cache.
+    session->engine = std::make_unique<Engine>(std::move(config),
+                                               std::move(source), pool_.get(),
+                                               plans_);
+    session->engine->set_session_id(session->id);
+    const SessionId id = session->id;
+    sessions_.push_back(std::move(session));
+    ++admitted_total_;
+    return id;
+}
+
+EngineHost::Session* EngineHost::find(SessionId id) {
+    for (auto& session : sessions_)
+        if (session->id == id) return session.get();
+    return nullptr;
+}
+
+const EngineHost::Session* EngineHost::find(SessionId id) const {
+    for (const auto& session : sessions_)
+        if (session->id == id) return session.get();
+    return nullptr;
+}
+
+Engine* EngineHost::session(SessionId id) {
+    Session* found = find(id);
+    return found != nullptr ? found->engine.get() : nullptr;
+}
+
+const Engine* EngineHost::session(SessionId id) const {
+    const Session* found = find(id);
+    return found != nullptr ? found->engine.get() : nullptr;
+}
+
+SessionState EngineHost::state(SessionId id) const {
+    const Session* found = find(id);
+    if (found == nullptr)
+        throw std::out_of_range("EngineHost: unknown session id " +
+                                std::to_string(id));
+    return found->engine->session_state();
+}
+
+void EngineHost::pause(SessionId id) {
+    Session* found = find(id);
+    if (found != nullptr) found->paused = true;
+}
+
+void EngineHost::resume(SessionId id) {
+    Session* found = find(id);
+    if (found == nullptr) return;
+    found->paused = false;
+    found->lag = 0;
+}
+
+bool EngineHost::terminal(const Session& session) const {
+    const SessionState state = session.engine->session_state();
+    return state == SessionState::kFinished || state == SessionState::kEvicted;
+}
+
+bool EngineHost::evict(SessionId id, std::string reason) {
+    Session* found = find(id);
+    if (found == nullptr || terminal(*found)) return false;
+    evict_session(*found, std::move(reason));
+    promote_queued();
+    return true;
+}
+
+void EngineHost::evict_session(Session& session, std::string reason) {
+    session.fault = std::move(reason);
+    session.engine->mark_evicted();
+    session.accounted = true;
+    ++evicted_total_;
+}
+
+void EngineHost::promote_queued() {
+    // FIFO promotion in admission order: the vector already is that order.
+    for (auto& session : sessions_) {
+        if (active_sessions() >= config_.max_sessions) return;
+        if (session->queued && !terminal(*session)) session->queued = false;
+    }
+}
+
+std::size_t EngineHost::reap() {
+    settle();  // count (and promote around) out-of-band finishes first
+    const std::size_t before = sessions_.size();
+    std::erase_if(sessions_, [this](const std::unique_ptr<Session>& session) {
+        return terminal(*session);
+    });
+    return before - sessions_.size();
+}
+
+std::size_t EngineHost::active_sessions() const {
+    std::size_t count = 0;
+    for (const auto& session : sessions_)
+        if (!session->queued && !terminal(*session)) ++count;
+    return count;
+}
+
+std::size_t EngineHost::queued_sessions() const {
+    std::size_t count = 0;
+    for (const auto& session : sessions_)
+        if (session->queued && !terminal(*session)) ++count;
+    return count;
+}
+
+void EngineHost::settle() {
+    // Sessions can reach a terminal state outside the scheduler: session()
+    // hands out the Engine*, and a caller may run()/finish() it directly.
+    // Catch up the lifetime counters and hand the freed slots to the queue,
+    // so an out-of-band finish never starves a queued tenant.
+    for (auto& session : sessions_) {
+        if (session->accounted || !terminal(*session)) continue;
+        session->accounted = true;
+        if (session->engine->session_state() == SessionState::kFinished)
+            ++finished_total_;
+        else
+            ++evicted_total_;
+        promote_queued();
+    }
+}
+
+std::size_t EngineHost::step_all() {
+    settle();
+    std::size_t processed = 0;
+    // Fair round-robin over a stable admission order: each schedulable
+    // session consumes exactly one frame before any session sees a second.
+    // Index loop on purpose -- step() can run stages that admit sessions.
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        Session& session = *sessions_[i];
+        if (session.queued || terminal(session)) continue;
+
+        if (session.paused) {
+            // Backpressure: a session that cannot consume its frames falls
+            // behind the stream one frame per round. A live radio drops
+            // those frames on the floor; past the configured lag the
+            // session's tracking state is stale beyond recovery and the
+            // host reclaims the slot.
+            ++session.lag;
+            if (config_.max_frame_lag > 0 && session.lag > config_.max_frame_lag) {
+                evict_session(session,
+                              "frame lag " + std::to_string(session.lag) +
+                                  " exceeded max_frame_lag " +
+                                  std::to_string(config_.max_frame_lag));
+                promote_queued();
+            }
+            continue;
+        }
+
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            const bool produced = session.engine->step();
+            const auto t1 = std::chrono::steady_clock::now();
+            if (produced) {
+                const double elapsed =
+                    std::chrono::duration<double>(t1 - t0).count();
+                ++session.frames;
+                session.total_step_s += elapsed;
+                session.max_step_s = std::max(session.max_step_s, elapsed);
+                session.lag = 0;
+                ++processed;
+                ++frames_window_;
+            } else {
+                // Source exhausted: Draining -> deliver the episode
+                // finish() work -> Finished, and hand the slot on.
+                session.engine->finish();
+                session.accounted = true;
+                ++finished_total_;
+                promote_queued();
+            }
+        } catch (const std::exception& error) {
+            // Fault isolation: the throwing session is evicted; the
+            // remaining sessions keep their slots and their state.
+            evict_session(session, std::string("step() threw: ") + error.what());
+            promote_queued();
+        } catch (...) {
+            evict_session(session, "step() threw a non-std exception");
+            promote_queued();
+        }
+    }
+    ++rounds_;
+    return processed;
+}
+
+bool EngineHost::progress_possible() const {
+    for (const auto& session : sessions_) {
+        if (session->queued || terminal(*session)) continue;
+        if (!session->paused) return true;
+        // A paused session still progresses toward eviction when lag is
+        // bounded; with max_frame_lag == 0 it would spin forever.
+        if (config_.max_frame_lag > 0) return true;
+    }
+    return false;
+}
+
+std::size_t EngineHost::run(std::size_t max_frames) {
+    std::size_t processed = 0;
+    for (;;) {
+        settle();  // out-of-band finishes free slots before the check below
+        if (!progress_possible()) break;
+        if (max_frames > 0 && processed >= max_frames) break;
+        processed += step_all();
+    }
+    return processed;
+}
+
+FleetStats EngineHost::take_fleet_stats() {
+    FleetStats stats;
+    const double now_s = steady_seconds();
+    stats.frames = frames_window_;
+    stats.wall_s = now_s - window_started_s_;
+    stats.throughput_fps =
+        stats.wall_s > 0.0 ? static_cast<double>(stats.frames) / stats.wall_s : 0.0;
+    stats.sessions_admitted = admitted_total_;
+    stats.sessions_finished = finished_total_;
+    stats.sessions_evicted = evicted_total_;
+    stats.active_sessions = active_sessions();
+    stats.queued_sessions = queued_sessions();
+
+    stats.sessions.reserve(sessions_.size());
+    for (auto& session : sessions_) {
+        SessionStats rollup;
+        rollup.id = session->id;
+        rollup.name = session->name;
+        rollup.state = session->engine->session_state();
+        rollup.frames = session->frames;
+        rollup.total_step_s = session->total_step_s;
+        rollup.max_step_s = session->max_step_s;
+        rollup.stages = session->engine->take_stage_stats();
+        rollup.fault = session->fault;
+        stats.sessions.push_back(std::move(rollup));
+
+        session->frames = 0;
+        session->total_step_s = 0.0;
+        session->max_step_s = 0.0;
+    }
+
+    frames_window_ = 0;
+    window_started_s_ = now_s;
+    return stats;
+}
+
+}  // namespace witrack::engine

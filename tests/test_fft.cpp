@@ -1,13 +1,17 @@
 // FFT engine tests: correctness against analytic DFTs, algebraic properties
 // (linearity, Parseval), cross-checks between the radix-2 and Bluestein
-// paths, and the paper's sweep-sized transform (N = 2500).
+// paths, the paper's sweep-sized transform (N = 2500), and the shared
+// FftPlanCache (pointer identity, cache-built == privately-built plans).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <complex>
 #include <random>
+#include <thread>
+#include <vector>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan_cache.hpp"
 
 namespace witrack::dsp {
 namespace {
@@ -166,6 +170,65 @@ TEST(Fft, PlanCacheReturnsSameInstance) {
     const Fft& b = fft_plan(512);
     EXPECT_EQ(&a, &b);
     EXPECT_EQ(a.size(), 512u);
+}
+
+TEST(FftPlanCacheSuite, SharesOnePlanPerSizeAndKind) {
+    FftPlanCache cache;
+    const auto complex_a = cache.complex_plan(640);
+    const auto complex_b = cache.complex_plan(640);
+    EXPECT_EQ(complex_a.get(), complex_b.get());
+    const auto real_a = cache.real_plan(640);
+    const auto real_b = cache.real_plan(640);
+    EXPECT_EQ(real_a.get(), real_b.get());
+    // Distinct sizes and distinct caches give distinct plans.
+    EXPECT_NE(cache.complex_plan(320).get(), complex_a.get());
+    FftPlanCache other;
+    EXPECT_NE(other.complex_plan(640).get(), complex_a.get());
+    // The real(640) plan's internal half plan is the cached complex(320),
+    // so the cache holds exactly complex{640, 320} + real{640}.
+    EXPECT_EQ(cache.cached_plans(), 3u);
+}
+
+TEST(FftPlanCacheSuite, CacheBuiltPlansMatchPrivateOnesBitForBit) {
+    // A cache-built RealFft (shared internal half plan) must transform
+    // exactly like a privately-built one: sharing is memoization, not a
+    // different algorithm. N = 2500 is the production sweep size.
+    FftPlanCache cache;
+    const auto shared_plan = cache.real_plan(2500);
+    const RealFft private_plan(2500);
+
+    std::vector<double> x(2500);
+    std::mt19937 rng(77);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : x) v = dist(rng);
+
+    FftScratch scratch_a, scratch_b;
+    std::vector<cplx> out_a, out_b;
+    shared_plan->forward(x, out_a, scratch_a);
+    private_plan.forward(x, out_b, scratch_b);
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::size_t k = 0; k < out_a.size(); ++k) {
+        EXPECT_EQ(out_a[k].real(), out_b[k].real());
+        EXPECT_EQ(out_a[k].imag(), out_b[k].imag());
+    }
+}
+
+TEST(FftPlanCacheSuite, ConcurrentFirstRequestsConvergeOnOnePlan) {
+    FftPlanCache cache;
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::shared_ptr<const RealFft>> seen(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (std::size_t t = 0; t < kThreads; ++t)
+            threads.emplace_back(
+                [&cache, &seen, t] { seen[t] = cache.real_plan(1250); });
+        for (auto& thread : threads) thread.join();
+    }
+    // Losers of the build race may briefly have held a duplicate, but every
+    // caller must have been handed the one cached instance.
+    for (std::size_t t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0].get(), seen[t].get());
 }
 
 TEST(Fft, ForwardRealMatchesComplexPath) {
