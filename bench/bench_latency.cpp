@@ -10,11 +10,17 @@
 // configurations (full serial, lazy TOF-only, lazy localize-only, 2- and
 // 4-worker parallel) over the same captured frames, writing the JSON
 // consumed as bench/scheduler_latency.json.
+// Kernel comparison mode: `bench_latency --kernel-json <path>` times the
+// serial DSP hot path (per-antenna range FFT, paper-literal Bluestein FFT,
+// full pipeline frame) against the pre-SoA-kernel numbers recorded in
+// bench/baseline_frame_latency.json, writing bench/fft_kernel_latency.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 #include <memory>
 #include <string>
 #include <thread>
@@ -292,12 +298,137 @@ int write_scheduler_json(const char* path) {
     return 0;
 }
 
+// --------------------------------------------------- kernel JSON comparison
+
+/// Mean/max seconds of `reps` timed calls to `fn` after one warm-up call.
+template <typename Fn>
+std::pair<double, double> time_calls(int reps, Fn&& fn) {
+    fn();  // warm plans, scratch and caches
+    double total_s = 0.0, max_s = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s = std::chrono::duration<double>(t1 - t0).count();
+        total_s += s;
+        max_s = std::max(max_s, s);
+    }
+    return {total_s / static_cast<double>(reps), max_s};
+}
+
+/// Serial DSP hot-path timings for the SoA/pruned/half-spectrum kernel
+/// engine, compared against the previous engine's numbers recorded in
+/// bench/baseline_frame_latency.json. These are single-threaded
+/// measurements: unlike the worker-pool comparisons they are meaningful on
+/// a single-core host, which is exactly why the kernel rewrite is the lever
+/// for per-session frame rate there.
+int write_kernel_json(const char* path) {
+    // Pre-kernel-rewrite numbers from bench/baseline_frame_latency.json
+    // ("after" of the FrameBuffer PR, measured on this host).
+    constexpr double kBeforeRangeFftUs = 145.24;
+    constexpr double kBeforeFullPipelineMs = 0.60;
+
+    const auto& frames = captured_frames();
+    core::PipelineConfig pipeline;
+    const auto array = geom::make_t_array({0, 0, 1.3}, 1.0);
+
+    core::SweepProcessor processor(pipeline.fmcw, pipeline.window,
+                                   pipeline.fft_size);
+    core::RangeProfile profile;
+    const auto& frame = frames[0].sweeps;
+    const auto [fft_mean_s, fft_max_s] = time_calls(2000, [&] {
+        processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+        benchmark::DoNotOptimize(profile.spectrum.data());
+    });
+
+    core::SweepProcessor literal(pipeline.fmcw, pipeline.window, 0);
+    const auto [bluestein_mean_s, bluestein_max_s] = time_calls(500, [&] {
+        literal.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+        benchmark::DoNotOptimize(profile.spectrum.data());
+    });
+
+    core::WiTrackTracker tracker(pipeline, array);
+    std::size_t i = 0;
+    double t = 0.0;
+    const auto [pipe_mean_s, pipe_max_s] = time_calls(1000, [&] {
+        benchmark::DoNotOptimize(
+            tracker.process_frame(frames[i % frames.size()].sweeps, t));
+        ++i;
+        t += 0.0125;
+    });
+
+    const double fft_us = fft_mean_s * 1e6;
+    const double bluestein_us = bluestein_mean_s * 1e6;
+    const double pipe_ms = pipe_mean_s * 1e3;
+    std::printf("kernel latency (serial, single core):\n");
+    std::printf("  range FFT / antenna   %8.2f us (was %.2f)\n", fft_us,
+                kBeforeRangeFftUs);
+    std::printf("  paper-literal 2500    %8.2f us\n", bluestein_us);
+    std::printf("  full pipeline frame   %8.3f ms (was %.2f)\n", pipe_ms,
+                kBeforeFullPipelineMs);
+
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"bench_latency --kernel-json\",\n");
+    std::fprintf(out,
+                 "  \"scenario\": \"LineWalkScript through-wall, 3 rx, 5 "
+                 "sweeps/frame, fft_size 4096 (2500 live samples)\",\n");
+    std::fprintf(out, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out,
+                 "  \"note\": \"serial single-thread timings: the kernel "
+                 "rewrite is a per-core win, so unlike the worker-pool "
+                 "numbers these are meaningful on a single-core host; "
+                 "multi-core machines bank the same per-lane saving times "
+                 "the fan-out\",\n");
+    std::fprintf(out, "  \"before\": {\n");
+    std::fprintf(out,
+                 "    \"description\": \"interleaved-complex scalar radix-2 "
+                 "(direction branch + conj in the butterfly loop), full-"
+                 "spectrum RealFft, separate zero-fill/accumulate/window "
+                 "passes (bench/baseline_frame_latency.json)\",\n");
+    std::fprintf(out, "    \"BM_RangeFftPerAntenna_mean_us\": %.2f,\n",
+                 kBeforeRangeFftUs);
+    std::fprintf(out, "    \"BM_FullPipelineFrame_mean_ms\": %.2f\n",
+                 kBeforeFullPipelineMs);
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"after\": {\n");
+    std::fprintf(out,
+                 "    \"description\": \"SoA Stockham radix-4 kernels "
+                 "(separate forward/inverse, per-stage sequential twiddles), "
+                 "input pruning 2500->4096, r2c half-spectrum profiles, "
+                 "fused average+window pack\",\n");
+    std::fprintf(out, "    \"BM_RangeFftPerAntenna_mean_us\": %.2f,\n", fft_us);
+    std::fprintf(out, "    \"BM_PaperLiteralFft2500_mean_us\": %.2f,\n",
+                 bluestein_us);
+    std::fprintf(out, "    \"BM_FullPipelineFrame_mean_ms\": %.3f\n", pipe_ms);
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"speedup\": {\n");
+    std::fprintf(out, "    \"range_fft_per_antenna\": %.2f,\n",
+                 fft_us > 0.0 ? kBeforeRangeFftUs / fft_us : 0.0);
+    std::fprintf(out, "    \"full_pipeline_frame\": %.2f,\n",
+                 pipe_ms > 0.0 ? kBeforeFullPipelineMs / pipe_ms : 0.0);
+    std::fprintf(out, "    \"target_range_fft\": 1.8,\n");
+    std::fprintf(out, "    \"target_full_pipeline\": 1.3\n");
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--scheduler-json") == 0)
             return write_scheduler_json(argv[i + 1]);
+        if (std::strcmp(argv[i], "--kernel-json") == 0)
+            return write_kernel_json(argv[i + 1]);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

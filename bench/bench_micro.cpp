@@ -15,29 +15,54 @@ using namespace witrack;
 
 namespace {
 
-void BM_FftRadix2(benchmark::State& state) {
+void BM_FftPow2Kernel(benchmark::State& state) {
+    // Complex API over the SoA radix-4 kernel; caller-owned scratch, so
+    // the loop is allocation-free once warm.
     const auto n = static_cast<std::size_t>(state.range(0));
-    std::vector<dsp::cplx> data(n, dsp::cplx(1.0, -0.5));
+    const std::vector<dsp::cplx> data(n, dsp::cplx(1.0, -0.5));
+    std::vector<dsp::cplx> work;
+    dsp::FftScratch scratch;
     const dsp::Fft& plan = dsp::fft_plan(n);
     for (auto _ : state) {
-        auto copy = data;
-        plan.forward(copy);
-        benchmark::DoNotOptimize(copy.data());
+        work = data;  // reuses capacity after the first pass
+        plan.forward(work, scratch);
+        benchmark::DoNotOptimize(work.data());
     }
     state.SetComplexityN(static_cast<int64_t>(n));
 }
-BENCHMARK(BM_FftRadix2)->Arg(1024)->Arg(4096)->Arg(16384)->Complexity();
+BENCHMARK(BM_FftPow2Kernel)->Arg(1024)->Arg(4096)->Arg(16384)->Complexity();
 
 void BM_FftBluestein2500(benchmark::State& state) {
-    std::vector<dsp::cplx> data(2500, dsp::cplx(0.3, 0.1));
+    const std::vector<dsp::cplx> data(2500, dsp::cplx(0.3, 0.1));
+    std::vector<dsp::cplx> work;
+    dsp::FftScratch scratch;
     const dsp::Fft& plan = dsp::fft_plan(2500);
     for (auto _ : state) {
-        auto copy = data;
-        plan.forward(copy);
-        benchmark::DoNotOptimize(copy.data());
+        work = data;
+        plan.forward(work, scratch);
+        benchmark::DoNotOptimize(work.data());
     }
 }
 BENCHMARK(BM_FftBluestein2500);
+
+void BM_RealFftHalfSpectrum(benchmark::State& state) {
+    // The production r2c shape: 2500 real samples zero-padded into a
+    // 4096-point transform. Arg selects dense (0) vs pruned (1) plans.
+    const bool pruned = state.range(0) != 0;
+    const std::size_t n = 4096, nz = 2500;
+    std::vector<double> input(pruned ? nz : n, 0.0);
+    for (std::size_t i = 0; i < nz; ++i)
+        input[i] = std::sin(0.05 * static_cast<double>(i));
+    const dsp::RealFft plan(n, pruned ? nz : 0);
+    dsp::FftScratch scratch;
+    std::vector<dsp::cplx> out;
+    for (auto _ : state) {
+        plan.forward(input, out, scratch);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["pruned"] = pruned ? 1.0 : 0.0;
+}
+BENCHMARK(BM_RealFftHalfSpectrum)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_MixerSynthesis(benchmark::State& state) {
     const auto paths_count = static_cast<std::size_t>(state.range(0));

@@ -3,12 +3,15 @@
 // two-reflector separability sweep.
 //
 // Usage: bench_resolution [--csv out.csv]
+#include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/constants.hpp"
 #include "common/table.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan_cache.hpp"
 #include "dsp/peaks.hpp"
 #include "hw/mixer.hpp"
 
@@ -16,23 +19,45 @@ using namespace witrack;
 
 namespace {
 
-/// Can two equal reflectors separated by `delta_m` (one-way) be resolved as
-/// two distinct spectral peaks?
-bool resolvable(const FmcwParams& fmcw, double delta_m) {
-    hw::DechirpMixer mixer(fmcw);
-    std::vector<rf::PropagationPath> paths(2);
-    paths[0].round_trip_m = 10.0;
-    paths[0].amplitude = 1.0;
-    paths[1].round_trip_m = 10.0 + 2.0 * delta_m;  // one-way delta -> 2x round trip
-    paths[1].amplitude = 1.0;
-    const auto sweep = mixer.synthesize(paths);
-    const auto spectrum = dsp::fft_forward_real(sweep);
-    std::vector<double> magnitude(sweep.size() / 2);
-    for (std::size_t k = 0; k < magnitude.size(); ++k)
-        magnitude[k] = std::abs(spectrum[k]);
-    const auto peaks = dsp::find_peaks(magnitude, 0.2 * static_cast<double>(sweep.size()) / 2.0, 1);
-    return peaks.size() >= 2;
-}
+/// Reusable separability probe: one shared r2c plan and caller-owned
+/// sweep/spectrum/magnitude buffers, so the sweep over separations does
+/// not rebuild or reallocate anything per step.
+class SeparabilityProbe {
+  public:
+    explicit SeparabilityProbe(const FmcwParams& fmcw)
+        : fmcw_(fmcw),
+          mixer_(fmcw),
+          rfft_(dsp::FftPlanCache::global().real_plan(fmcw.samples_per_sweep())),
+          sweep_(fmcw.samples_per_sweep()),
+          magnitude_(fmcw.samples_per_sweep() / 2) {}
+
+    /// Can two equal reflectors separated by `delta_m` (one-way) be
+    /// resolved as two distinct spectral peaks?
+    bool resolvable(double delta_m) {
+        std::vector<rf::PropagationPath> paths(2);
+        paths[0].round_trip_m = 10.0;
+        paths[0].amplitude = 1.0;
+        paths[1].round_trip_m = 10.0 + 2.0 * delta_m;  // one-way -> 2x round trip
+        paths[1].amplitude = 1.0;
+        std::fill(sweep_.begin(), sweep_.end(), 0.0);
+        mixer_.synthesize(paths, sweep_);
+        rfft_->forward(sweep_, spectrum_, scratch_);
+        for (std::size_t k = 0; k < magnitude_.size(); ++k)
+            magnitude_[k] = std::abs(spectrum_[k]);
+        const auto peaks = dsp::find_peaks(
+            magnitude_, 0.2 * static_cast<double>(sweep_.size()) / 2.0, 1);
+        return peaks.size() >= 2;
+    }
+
+  private:
+    FmcwParams fmcw_;
+    hw::DechirpMixer mixer_;
+    std::shared_ptr<const dsp::RealFft> rfft_;
+    std::vector<double> sweep_;
+    std::vector<dsp::cplx> spectrum_;
+    std::vector<double> magnitude_;
+    dsp::FftScratch scratch_;
+};
 
 }  // namespace
 
@@ -62,9 +87,10 @@ int main(int argc, char** argv) {
 
     print_banner("Empirical two-reflector separability (synthesized sweeps)");
     Table sep({"one-way separation (cm)", "resolved as two peaks"});
+    SeparabilityProbe probe(fmcw);
     double first_resolved = -1.0;
     for (double cm = 2.0; cm <= 20.0; cm += 1.0) {
-        const bool ok = resolvable(fmcw, cm / 100.0);
+        const bool ok = probe.resolvable(cm / 100.0);
         if (ok && first_resolved < 0) first_resolved = cm;
         sep.add_row({Table::num(cm, 0), ok ? "yes" : "no"});
     }

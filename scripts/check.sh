@@ -13,7 +13,14 @@ for config in Debug Release; do
   echo "=== ${config} ==="
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DWITRACK_WERROR=ON
   cmake --build "${build_dir}" -j
-  (cd "${build_dir}" && ctest --output-on-failure -j)
+  # The FFT kernel accuracy gate runs first and explicitly: the
+  # SoA/pruned/half-spectrum kernels must match the direct DFT in this
+  # exact configuration (rounding differs between -O0 and -O3 vectorized
+  # code, so both matter). The general ctest run excludes it so the suite
+  # runs exactly once per configuration.
+  echo "=== ${config}: FFT accuracy suite ==="
+  (cd "${build_dir}" && ctest -R '^test_fft$' --output-on-failure)
+  (cd "${build_dir}" && ctest -E '^test_fft$' --output-on-failure -j)
 done
 
 echo "=== example smoke (Release) ==="

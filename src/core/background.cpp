@@ -27,16 +27,25 @@ void BackgroundSubtractor::subtract_into(const RangeProfile& profile,
     const std::size_t bins = profile.usable_bins;
 
     if (mode_ == BackgroundMode::kFrameDiff) {
-        if (!has_previous_) {
-            previous_ = profile.spectrum;
+        if (!has_previous_ || previous_.size() != profile.spectrum.size()) {
+            // First frame (or a spectrum-shape change re-primes the
+            // differencer). assign() reuses capacity once warm.
+            previous_.assign(profile.spectrum.begin(), profile.spectrum.end());
             has_previous_ = true;
             out.clear();  // nothing to difference yet
             return;
         }
+        // Fused difference + history update: one pass reads the stored
+        // frame and replaces it in place, instead of a subtract pass
+        // followed by a full-vector copy of the new spectrum.
         out.resize(bins);
-        for (std::size_t i = 0; i < bins; ++i)
-            out[i] = std::abs(profile.spectrum[i] - previous_[i]);
-        previous_ = profile.spectrum;
+        for (std::size_t i = 0; i < bins; ++i) {
+            const dsp::cplx current = profile.spectrum[i];
+            out[i] = std::abs(current - previous_[i]);
+            previous_[i] = current;
+        }
+        for (std::size_t i = bins; i < previous_.size(); ++i)
+            previous_[i] = profile.spectrum[i];
         return;
     }
 

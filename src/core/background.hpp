@@ -43,8 +43,10 @@ class BackgroundSubtractor {
     std::vector<double> subtract(const RangeProfile& profile);
 
     /// In-place variant: writes the magnitude profile into `out`, reusing
-    /// its storage (empty when there is nothing to difference yet). Zero
-    /// heap allocations at steady state.
+    /// its storage (empty when there is nothing to difference yet). In
+    /// kFrameDiff mode the difference and the history update are fused
+    /// into one pass over the half spectrum -- no per-frame full-vector
+    /// copy -- and the whole path is allocation-free at steady state.
     void subtract_into(const RangeProfile& profile, std::vector<double>& out);
 
     void reset();

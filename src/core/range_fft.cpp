@@ -22,17 +22,19 @@ SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
     : fmcw_(fmcw),
       fft_size_(checked_fft_size(fmcw, fft_size)),
       rfft_((plans != nullptr ? *plans : dsp::FftPlanCache::global())
-                .real_plan(fft_size_)) {
+                .real_plan(fft_size_, fmcw.samples_per_sweep())) {
     const std::size_t n = fmcw_.samples_per_sweep();
     window_ = dsp::make_window(window, n);
     // Normalize to unity coherent gain so thresholds are window-independent.
     const double gain = dsp::window_gain(window_) / static_cast<double>(window_.size());
     for (auto& w : window_) w /= gain;
-    averaged_.assign(fft_size_, 0.0);
+    // Only the live sweep samples are buffered; the zero-padded tail up to
+    // fft_size_ is structural and lives inside the pruned FFT plan.
+    averaged_.assign(n, 0.0);
 }
 
 void SweepProcessor::transform(RangeProfile& out) {
-    rfft_->forward(averaged_, out.spectrum, scratch_);
+    rfft_->forward_windowed(averaged_, window_, out.spectrum, scratch_);
     // One FFT bin spans fs/Nfft in beat frequency; Eq. 4 maps that to
     // round-trip meters via C/slope.
     const double bin_hz = fmcw_.sample_rate_hz / static_cast<double>(fft_size_);
@@ -47,13 +49,16 @@ void SweepProcessor::process_into(std::span<const double> sweeps,
     if (sweeps.size() != sweep_count * n)
         throw std::invalid_argument("SweepProcessor: sweep length mismatch");
 
-    std::fill(averaged_.begin(), averaged_.end(), 0.0);
+    // Fused averaging: the first sweep assigns (no zero-fill pass), the
+    // rest accumulate. The window multiply happens inside the transform's
+    // packing pass.
     const double scale = 1.0 / static_cast<double>(sweep_count);
-    for (std::size_t s = 0; s < sweep_count; ++s) {
+    const double* first = sweeps.data();
+    for (std::size_t i = 0; i < n; ++i) averaged_[i] = first[i] * scale;
+    for (std::size_t s = 1; s < sweep_count; ++s) {
         const double* sweep = sweeps.data() + s * n;
         for (std::size_t i = 0; i < n; ++i) averaged_[i] += sweep[i] * scale;
     }
-    for (std::size_t i = 0; i < n; ++i) averaged_[i] *= window_[i];
     transform(out);
 }
 

@@ -4,6 +4,12 @@
 // noise adds incoherently), window, and FFT. One FFT bin maps to a
 // round-trip distance of C / (slope * Tsweep) meters (Eq. 4).
 //
+// The hot path is fused: the first sweep assigns the (scaled) averaging
+// buffer, later sweeps accumulate into it, and the window is applied during
+// the r2c packing pass inside RealFft -- there is no zero-fill pass and no
+// separate window pass, and the zero-padded tail of the transform never
+// exists in memory (the pruned FFT plan knows it is structurally zero).
+//
 // The processor owns its averaging buffer, its FFT plan and the FFT scratch
 // space, so the steady-state `process_into` / `process_frame_into` paths do
 // zero heap allocations per frame.
@@ -23,11 +29,15 @@
 
 namespace witrack::core {
 
-/// Complex range spectrum of one averaged frame for one antenna.
+/// Complex range spectrum of one averaged frame for one antenna. The
+/// input sweep is real, so only the non-redundant half spectrum is
+/// materialized: `spectrum` holds usable_bins + 1 bins (DC through Nyquist
+/// inclusive); the upper half would be their conjugate mirror and is never
+/// computed.
 struct RangeProfile {
-    std::vector<dsp::cplx> spectrum;  ///< full FFT, size = samples_per_sweep
+    std::vector<dsp::cplx> spectrum;  ///< r2c half spectrum, usable_bins + 1
     double bin_round_trip_m = 0.0;    ///< round-trip meters per FFT bin
-    std::size_t usable_bins = 0;      ///< bins below Nyquist (spectrum.size()/2)
+    std::size_t usable_bins = 0;      ///< bins below Nyquist (fft_size/2)
 
     double round_trip_of_bin(double bin) const { return bin * bin_round_trip_m; }
     double bin_of_round_trip(double m) const { return m / bin_round_trip_m; }
@@ -67,14 +77,16 @@ class SweepProcessor {
     const dsp::RealFft* plan() const { return rfft_.get(); }
 
   private:
-    /// Window the averaged sweep in averaged_ and FFT it into `out`.
+    /// FFT the averaged sweep in averaged_ into `out` (window fused into
+    /// the transform's packing pass).
     void transform(RangeProfile& out);
 
     FmcwParams fmcw_;
     std::size_t fft_size_ = 0;
     std::vector<double> window_;
-    std::vector<double> averaged_;  ///< fft_size_ doubles, zero-padded tail
-    std::shared_ptr<const dsp::RealFft> rfft_;  ///< shared via FftPlanCache
+    std::vector<double> averaged_;  ///< samples_per_sweep doubles (no pad)
+    std::shared_ptr<const dsp::RealFft> rfft_;  ///< shared via FftPlanCache,
+                                                ///< pruned to the sweep length
     dsp::FftScratch scratch_;
 };
 

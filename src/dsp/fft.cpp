@@ -15,97 +15,112 @@ std::size_t next_power_of_two(std::size_t n) {
     return p;
 }
 
+/// Grow-only plane sizing: capacity is kept warm across mixed-size calls.
+inline void ensure_plane(std::vector<double>& v, std::size_t n) {
+    if (v.size() < n) v.resize(n);
+}
+
 }  // namespace
 
-Fft::Fft(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
+Fft::Fft(std::size_t n, std::size_t n_nonzero)
+    : n_(n), pow2_(is_power_of_two(n)) {
     if (n_ == 0) throw std::invalid_argument("Fft: size must be positive");
 
     if (pow2_) {
-        // Bit-reversal permutation table.
-        bit_reversal_.resize(n_);
-        std::size_t log2n = 0;
-        while ((std::size_t{1} << log2n) < n_) ++log2n;
-        for (std::size_t i = 0; i < n_; ++i) {
-            std::size_t reversed = 0;
-            for (std::size_t bit = 0; bit < log2n; ++bit)
-                if (i & (std::size_t{1} << bit)) reversed |= std::size_t{1} << (log2n - 1 - bit);
-            bit_reversal_[i] = reversed;
-        }
-        // Twiddle factors for the largest stage; smaller stages stride into
-        // this table.
-        twiddles_.resize(n_ / 2);
-        for (std::size_t k = 0; k < n_ / 2; ++k) {
-            const double angle = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
-            twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
-        }
+        kernel_ = std::make_unique<kernels::Pow2Kernel>(
+            n_, effective_nonzero(n_, n_nonzero));
         return;
     }
 
     // Bluestein setup. The chirp uses k^2 mod 2n in the exponent to avoid
     // catastrophic precision loss for large k (pi*k^2/n wraps every 2n).
     m_ = next_power_of_two(2 * n_ - 1);
-    chirp_.resize(n_);
+    chirp_re_.resize(n_);
+    chirp_im_.resize(n_);
     for (std::size_t k = 0; k < n_; ++k) {
         const std::size_t k2 = (k * k) % (2 * n_);
         const double angle = M_PI * static_cast<double>(k2) / static_cast<double>(n_);
-        chirp_[k] = cplx(std::cos(angle), std::sin(angle));
+        chirp_re_[k] = std::cos(angle);
+        chirp_im_[k] = std::sin(angle);
     }
-    conv_plan_ = std::make_unique<Fft>(m_);
-    chirp_spectrum_.assign(m_, cplx(0.0, 0.0));
-    chirp_spectrum_[0] = chirp_[0];
+    // The data-side convolution input is nonzero only in its first n_
+    // entries of m_, so its forward transform is planned pruned; the
+    // spectrum-side inverse is dense.
+    conv_kernel_ = std::make_unique<kernels::Pow2Kernel>(m_, n_);
+    chirp_spec_re_.assign(m_, 0.0);
+    chirp_spec_im_.assign(m_, 0.0);
+    chirp_spec_re_[0] = chirp_re_[0];
+    chirp_spec_im_[0] = chirp_im_[0];
     for (std::size_t k = 1; k < n_; ++k) {
-        chirp_spectrum_[k] = chirp_[k];
-        chirp_spectrum_[m_ - k] = chirp_[k];  // circular wrap for negative lags
+        chirp_spec_re_[k] = chirp_re_[k];
+        chirp_spec_im_[k] = chirp_im_[k];
+        chirp_spec_re_[m_ - k] = chirp_re_[k];  // circular wrap, negative lags
+        chirp_spec_im_[m_ - k] = chirp_im_[k];
     }
-    conv_plan_->forward(chirp_spectrum_);
+    // One-time dense transform (the wrapped chirp is nonzero at both ends
+    // of the buffer, so the pruned forward does not apply).
+    std::vector<double> wr(m_), wi(m_);
+    conv_kernel_->forward_dense(chirp_spec_re_.data(), chirp_spec_im_.data(),
+                                wr.data(), wi.data());
 }
 
-void Fft::radix2(std::vector<cplx>& data, bool inverse) const {
-    // Permute into bit-reversed order.
-    for (std::size_t i = 0; i < n_; ++i) {
-        const std::size_t j = bit_reversal_[i];
-        if (i < j) std::swap(data[i], data[j]);
-    }
-    // Iterative butterflies.
-    for (std::size_t len = 2; len <= n_; len <<= 1) {
-        const std::size_t half = len >> 1;
-        const std::size_t stride = n_ / len;
-        for (std::size_t block = 0; block < n_; block += len) {
-            for (std::size_t k = 0; k < half; ++k) {
-                cplx w = twiddles_[k * stride];
-                if (inverse) w = std::conj(w);
-                const cplx odd = data[block + k + half] * w;
-                const cplx even = data[block + k];
-                data[block + k] = even + odd;
-                data[block + k + half] = even - odd;
-            }
-        }
-    }
-    if (inverse) {
-        const double scale = 1.0 / static_cast<double>(n_);
-        for (auto& v : data) v *= scale;
-    }
-}
-
-void Fft::bluestein(std::vector<cplx>& data, bool inverse, FftScratch& scratch) const {
+void Fft::bluestein_forward(double* re, double* im, FftScratch& scratch) const {
     // DFT via chirp-z: X_k = conj(b_k) * IFFT(FFT(a.*conj(b)) .* FFT(b))_k,
-    // where b is the quadratic chirp. The inverse transform reuses the
-    // forward machinery through conjugation.
-    if (inverse) {
-        for (auto& v : data) v = std::conj(v);
-        bluestein(data, false, scratch);
-        const double scale = 1.0 / static_cast<double>(n_);
-        for (auto& v : data) v = std::conj(v) * scale;
+    // where b is the quadratic chirp.
+    ensure_plane(scratch.bre, m_);
+    ensure_plane(scratch.bim, m_);
+    ensure_plane(scratch.wre, m_);
+    ensure_plane(scratch.wim, m_);
+    double* br = scratch.bre.data();
+    double* bi = scratch.bim.data();
+    const double* cr = chirp_re_.data();
+    const double* ci = chirp_im_.data();
+    for (std::size_t k = 0; k < n_; ++k) {  // a_k * conj(chirp_k)
+        br[k] = re[k] * cr[k] + im[k] * ci[k];
+        bi[k] = im[k] * cr[k] - re[k] * ci[k];
+    }
+    // [n_, m_) is structurally zero: the pruned convolution plan skips it.
+    conv_kernel_->forward(br, bi, scratch.wre.data(), scratch.wim.data());
+    const double* sr = chirp_spec_re_.data();
+    const double* si = chirp_spec_im_.data();
+    for (std::size_t k = 0; k < m_; ++k) {
+        const double tr = br[k] * sr[k] - bi[k] * si[k];
+        const double ti = br[k] * si[k] + bi[k] * sr[k];
+        br[k] = tr;
+        bi[k] = ti;
+    }
+    conv_kernel_->inverse(br, bi, scratch.wre.data(), scratch.wim.data());
+    for (std::size_t k = 0; k < n_; ++k) {  // * conj(chirp_k)
+        re[k] = br[k] * cr[k] + bi[k] * ci[k];
+        im[k] = bi[k] * cr[k] - br[k] * ci[k];
+    }
+}
+
+void Fft::forward_soa(double* re, double* im, FftScratch& scratch) const {
+    if (pow2_) {
+        ensure_plane(scratch.wre, n_);
+        ensure_plane(scratch.wim, n_);
+        kernel_->forward(re, im, scratch.wre.data(), scratch.wim.data());
         return;
     }
+    bluestein_forward(re, im, scratch);
+}
 
-    auto& work = scratch.work;
-    work.assign(m_, cplx(0.0, 0.0));
-    for (std::size_t k = 0; k < n_; ++k) work[k] = data[k] * std::conj(chirp_[k]);
-    conv_plan_->forward(work);
-    for (std::size_t k = 0; k < m_; ++k) work[k] *= chirp_spectrum_[k];
-    conv_plan_->inverse(work);
-    for (std::size_t k = 0; k < n_; ++k) data[k] = work[k] * std::conj(chirp_[k]);
+void Fft::inverse_soa(double* re, double* im, FftScratch& scratch) const {
+    if (pow2_) {
+        ensure_plane(scratch.wre, n_);
+        ensure_plane(scratch.wim, n_);
+        kernel_->inverse(re, im, scratch.wre.data(), scratch.wim.data());
+        return;
+    }
+    // Inverse chirp-z through conjugation: IDFT(x) = conj(DFT(conj(x)))/n.
+    for (std::size_t k = 0; k < n_; ++k) im[k] = -im[k];
+    bluestein_forward(re, im, scratch);
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        re[k] *= scale;
+        im[k] = -im[k] * scale;
+    }
 }
 
 void Fft::forward(std::vector<cplx>& data) const {
@@ -120,110 +135,167 @@ void Fft::inverse(std::vector<cplx>& data) const {
 
 void Fft::forward(std::vector<cplx>& data, FftScratch& scratch) const {
     if (data.size() != n_) throw std::invalid_argument("Fft::forward: size mismatch");
-    if (pow2_)
-        radix2(data, false);
-    else
-        bluestein(data, false, scratch);
+    ensure_plane(scratch.dre, n_);
+    ensure_plane(scratch.dim, n_);
+    double* re = scratch.dre.data();
+    double* im = scratch.dim.data();
+    for (std::size_t k = 0; k < n_; ++k) {
+        re[k] = data[k].real();
+        im[k] = data[k].imag();
+    }
+    forward_soa(re, im, scratch);
+    for (std::size_t k = 0; k < n_; ++k) data[k] = cplx(re[k], im[k]);
 }
 
 void Fft::inverse(std::vector<cplx>& data, FftScratch& scratch) const {
     if (data.size() != n_) throw std::invalid_argument("Fft::inverse: size mismatch");
-    if (pow2_)
-        radix2(data, true);
-    else
-        bluestein(data, true, scratch);
-}
-
-std::vector<cplx> Fft::forward_real(const std::vector<double>& input) const {
-    if (input.size() != n_) throw std::invalid_argument("Fft::forward_real: size mismatch");
-    std::vector<cplx> data(n_);
-    for (std::size_t i = 0; i < n_; ++i) data[i] = cplx(input[i], 0.0);
-    forward(data);
-    return data;
-}
-
-RealFft::RealFft(std::size_t n) : n_(n) {
-    if (n_ == 0) throw std::invalid_argument("RealFft: size must be positive");
-    if (n_ % 2 == 0 && n_ >= 2) {
-        half_plan_ = std::make_shared<const Fft>(n_ / 2);
-        build_twiddles();
-    } else {
-        full_plan_ = std::make_shared<const Fft>(n_);
+    ensure_plane(scratch.dre, n_);
+    ensure_plane(scratch.dim, n_);
+    double* re = scratch.dre.data();
+    double* im = scratch.dim.data();
+    for (std::size_t k = 0; k < n_; ++k) {
+        re[k] = data[k].real();
+        im[k] = data[k].imag();
     }
+    inverse_soa(re, im, scratch);
+    for (std::size_t k = 0; k < n_; ++k) data[k] = cplx(re[k], im[k]);
 }
 
-RealFft::RealFft(std::size_t n, FftPlanCache& cache) : n_(n) {
+void RealFft::init(std::size_t n_nonzero) {
     if (n_ == 0) throw std::invalid_argument("RealFft: size must be positive");
-    if (n_ % 2 == 0 && n_ >= 2) {
-        half_plan_ = cache.complex_plan(n_ / 2);
-        build_twiddles();
-    } else {
-        full_plan_ = cache.complex_plan(n_);
-    }
-}
-
-void RealFft::build_twiddles() {
-    twiddles_.resize(n_ / 2);
-    for (std::size_t k = 0; k < n_ / 2; ++k) {
+    nz_ = (n_nonzero == 0 || n_nonzero > n_) ? n_ : n_nonzero;
+    if (n_ % 2 != 0) return;  // odd-N fallback plans dense, pads at pack time
+    packed_nz_ = (nz_ + 1) / 2;
+    const std::size_t quarter = n_ / 4;
+    twr_.resize(quarter + 1);
+    twi_.resize(quarter + 1);
+    for (std::size_t k = 0; k <= quarter; ++k) {
         const double angle = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
-        twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
+        twr_[k] = std::cos(angle);
+        twi_[k] = std::sin(angle);
     }
+}
+
+RealFft::RealFft(std::size_t n, std::size_t n_nonzero) : n_(n) {
+    init(n_nonzero);
+    if (n_ % 2 == 0)
+        half_plan_ = std::make_shared<const Fft>(n_ / 2, packed_nz_);
+    else
+        full_plan_ = std::make_shared<const Fft>(n_);
+}
+
+RealFft::RealFft(std::size_t n, FftPlanCache& cache, std::size_t n_nonzero)
+    : n_(n) {
+    init(n_nonzero);
+    if (n_ % 2 == 0)
+        half_plan_ = cache.complex_plan(n_ / 2, packed_nz_);
+    else
+        full_plan_ = cache.complex_plan(n_);
+}
+
+void RealFft::transform(std::span<const double> input, const double* window,
+                        std::vector<cplx>& out, FftScratch& scratch) const {
+    if (input.size() != nz_)
+        throw std::invalid_argument("RealFft::forward: size mismatch");
+
+    if (full_plan_) {  // odd N fallback: plain complex transform
+        ensure_plane(scratch.dre, n_);
+        ensure_plane(scratch.dim, n_);
+        double* re = scratch.dre.data();
+        double* im = scratch.dim.data();
+        if (window != nullptr)
+            for (std::size_t i = 0; i < nz_; ++i) re[i] = input[i] * window[i];
+        else
+            for (std::size_t i = 0; i < nz_; ++i) re[i] = input[i];
+        std::fill(re + nz_, re + n_, 0.0);
+        std::fill(im, im + n_, 0.0);
+        full_plan_->forward_soa(re, im, scratch);
+        out.resize(n_ / 2 + 1);
+        for (std::size_t k = 0; k <= n_ / 2; ++k) out[k] = cplx(re[k], im[k]);
+        return;
+    }
+
+    // Pack adjacent real samples into one half-length complex sequence,
+    // z_n = x_{2n} + i*x_{2n+1}, applying the window on the fly (this is
+    // the fused windowing pass: no separate sweep over the samples).
+    const std::size_t h = n_ / 2;
+    ensure_plane(scratch.dre, h);
+    ensure_plane(scratch.dim, h);
+    double* zr = scratch.dre.data();
+    double* zi = scratch.dim.data();
+    const std::size_t pairs = nz_ / 2;
+    if (window != nullptr) {
+        for (std::size_t k = 0; k < pairs; ++k) {
+            zr[k] = input[2 * k] * window[2 * k];
+            zi[k] = input[2 * k + 1] * window[2 * k + 1];
+        }
+    } else {
+        for (std::size_t k = 0; k < pairs; ++k) {
+            zr[k] = input[2 * k];
+            zi[k] = input[2 * k + 1];
+        }
+    }
+    if (nz_ % 2 == 1) {
+        zr[packed_nz_ - 1] =
+            window != nullptr ? input[nz_ - 1] * window[nz_ - 1] : input[nz_ - 1];
+        zi[packed_nz_ - 1] = 0.0;
+    }
+    // A pruned half plan treats [packed_nz_, h) as structural zero and
+    // never reads it; a dense plan (non-power-of-two half) needs the
+    // padding materialized.
+    if (packed_nz_ < h && half_plan_->n_nonzero() == h) {
+        std::fill(zr + packed_nz_, zr + h, 0.0);
+        std::fill(zi + packed_nz_, zi + h, 0.0);
+    }
+    half_plan_->forward_soa(zr, zi, scratch);
+
+    // Untangle the even/odd sub-spectra (E_k, O_k) from Z and recombine:
+    //   X_k = E_k + w^k O_k,  with  E_k = (Z_k + conj(Z_{h-k}))/2,
+    //   O_k = -i/2 (Z_k - conj(Z_{h-k})),  w = exp(-2*pi*i/N).
+    // Only the non-redundant half X_0..X_h is materialized, and each loop
+    // iteration emits the pair (X_k, X_{h-k} = conj(E_k - w^k O_k)), so
+    // the untangle does h/2 iterations instead of the h a full-spectrum
+    // recombination needs.
+    out.resize(h + 1);
+    const double zr0 = zr[0], zi0 = zi[0];
+    out[0] = cplx(zr0 + zi0, 0.0);
+    out[h] = cplx(zr0 - zi0, 0.0);
+    const double* wr = twr_.data();
+    const double* wi = twi_.data();
+    for (std::size_t k = 1; 2 * k < h; ++k) {
+        const double ar = zr[k], ai = zi[k];
+        const double br = zr[h - k], bi = zi[h - k];
+        const double er = 0.5 * (ar + br);
+        const double ei = 0.5 * (ai - bi);
+        const double odr = 0.5 * (ai + bi);
+        const double odi = 0.5 * (br - ar);
+        const double tr = wr[k] * odr - wi[k] * odi;
+        const double ti = wr[k] * odi + wi[k] * odr;
+        out[k] = cplx(er + tr, ei + ti);
+        out[h - k] = cplx(er - tr, ti - ei);
+    }
+    if (h % 2 == 0 && h >= 2)  // middle bin: X_{h/2} = conj(Z_{h/2}) exactly
+        out[h / 2] = cplx(zr[h / 2], -zi[h / 2]);
 }
 
 void RealFft::forward(std::span<const double> input, std::vector<cplx>& out,
                       FftScratch& scratch) const {
-    if (input.size() != n_)
-        throw std::invalid_argument("RealFft::forward: size mismatch");
+    transform(input, nullptr, out, scratch);
+}
 
-    if (full_plan_) {  // odd N fallback: plain complex transform
-        out.resize(n_);
-        for (std::size_t i = 0; i < n_; ++i) out[i] = cplx(input[i], 0.0);
-        full_plan_->forward(out, scratch);
-        return;
-    }
-
-    // Pack adjacent real samples into one half-length complex sequence:
-    // z_n = x_{2n} + i*x_{2n+1}.
-    const std::size_t h = n_ / 2;
-    auto& z = scratch.packed;
-    z.resize(h);
-    for (std::size_t k = 0; k < h; ++k) z[k] = cplx(input[2 * k], input[2 * k + 1]);
-    half_plan_->forward(z, scratch);
-
-    // Untangle the even/odd sub-spectra (E_k, O_k) from Z and recombine:
-    //   X_k       = E_k + w^k O_k,   X_{k+N/2} = E_k - w^k O_k,
-    // with w = exp(-2*pi*i/N). The result is the full conjugate-symmetric
-    // N-point spectrum of the real input.
-    out.resize(n_);
-    for (std::size_t k = 0; k < h; ++k) {
-        const cplx zk = z[k];
-        const cplx zmk = std::conj(z[(h - k) % h]);
-        const cplx even = 0.5 * (zk + zmk);
-        const cplx odd = cplx(0.0, -0.5) * (zk - zmk);
-        const cplx t = twiddles_[k] * odd;
-        out[k] = even + t;
-        out[k + h] = even - t;
-    }
+void RealFft::forward_windowed(std::span<const double> input,
+                               std::span<const double> window,
+                               std::vector<cplx>& out,
+                               FftScratch& scratch) const {
+    if (window.size() != nz_)
+        throw std::invalid_argument("RealFft::forward_windowed: window mismatch");
+    transform(input, window.data(), out, scratch);
 }
 
 const Fft& fft_plan(std::size_t n) {
     // The global cache retains every plan it hands out, so the reference
     // stays valid for the life of the process.
     return *FftPlanCache::global().complex_plan(n);
-}
-
-std::vector<cplx> fft_forward(std::vector<cplx> data) {
-    fft_plan(data.size()).forward(data);
-    return data;
-}
-
-std::vector<cplx> fft_inverse(std::vector<cplx> data) {
-    fft_plan(data.size()).inverse(data);
-    return data;
-}
-
-std::vector<cplx> fft_forward_real(const std::vector<double>& input) {
-    return fft_plan(input.size()).forward_real(input);
 }
 
 }  // namespace witrack::dsp

@@ -1,7 +1,9 @@
 // FFT engine tests: correctness against analytic DFTs, algebraic properties
-// (linearity, Parseval), cross-checks between the radix-2 and Bluestein
-// paths, the paper's sweep-sized transform (N = 2500), and the shared
-// FftPlanCache (pointer identity, cache-built == privately-built plans).
+// (linearity, Parseval), cross-checks between the radix-4 kernel and
+// Bluestein paths, the paper's sweep-sized transform (N = 2500), the pruned
+// (zero-padded-input) kernels, the r2c half-spectrum plans, and the shared
+// FftPlanCache (pointer identity, shape-keyed pruned entries, cache-built ==
+// privately-built plans).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -75,7 +77,9 @@ TEST(Fft, RealInputHasConjugateSymmetry) {
     std::mt19937 rng(3);
     std::normal_distribution<double> dist;
     for (auto& v : x) v = dist(rng);
-    const auto spec = fft_forward_real(x);
+    std::vector<cplx> spec(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) spec[i] = cplx(x[i], 0.0);
+    fft_plan(x.size()).forward(spec);
     for (std::size_t k = 1; k < x.size(); ++k) {
         EXPECT_NEAR(spec[k].real(), spec[x.size() - k].real(), 1e-9);
         EXPECT_NEAR(spec[k].imag(), -spec[x.size() - k].imag(), 1e-9);
@@ -141,6 +145,7 @@ INSTANTIATE_TEST_SUITE_P(
     PowerOfTwoAndArbitrary, FftSizes,
     ::testing::Values(FftSizeCase{2}, FftSizeCase{4}, FftSizeCase{16},
                       FftSizeCase{64}, FftSizeCase{256}, FftSizeCase{1024},
+                      FftSizeCase{2048}, FftSizeCase{4096},
                       FftSizeCase{3}, FftSizeCase{5}, FftSizeCase{12},
                       FftSizeCase{100}, FftSizeCase{625}, FftSizeCase{2500}),
     [](const ::testing::TestParamInfo<FftSizeCase>& info) {
@@ -231,15 +236,187 @@ TEST(FftPlanCacheSuite, ConcurrentFirstRequestsConvergeOnOnePlan) {
         EXPECT_EQ(seen[0].get(), seen[t].get());
 }
 
-TEST(Fft, ForwardRealMatchesComplexPath) {
+TEST(Fft, RealHalfSpectrumMatchesComplexPath) {
     std::vector<double> x(100);
     for (std::size_t i = 0; i < x.size(); ++i)
         x[i] = std::sin(0.37 * static_cast<double>(i)) + 0.2;
-    const auto via_real = fft_forward_real(x);
-    std::vector<cplx> as_complex(x.size());
-    for (std::size_t i = 0; i < x.size(); ++i) as_complex[i] = cplx(x[i], 0.0);
-    const auto via_complex = fft_forward(as_complex);
-    EXPECT_LT(max_error(via_real, via_complex), 1e-9);
+    RealFft rfft(x.size());
+    FftScratch scratch;
+    std::vector<cplx> via_real;
+    rfft.forward(x, via_real, scratch);
+    std::vector<cplx> via_complex(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) via_complex[i] = cplx(x[i], 0.0);
+    fft_plan(x.size()).forward(via_complex);
+    ASSERT_EQ(via_real.size(), x.size() / 2 + 1);
+    for (std::size_t k = 0; k < via_real.size(); ++k)
+        EXPECT_LT(std::abs(via_real[k] - via_complex[k]), 1e-9) << "k=" << k;
+}
+
+// ------------------------------------------------------- pruned kernels
+
+struct PrunedCase {
+    std::size_t n;        ///< transform size (power of two)
+    std::size_t nonzero;  ///< live input prefix; [nonzero, n) is zero
+};
+
+class PrunedShapes : public ::testing::TestWithParam<PrunedCase> {};
+
+TEST_P(PrunedShapes, PrunedMatchesNaiveDft) {
+    const auto [n, nz] = GetParam();
+    auto in = random_signal(nz, static_cast<unsigned>(n + nz));
+    in.resize(n, cplx(0.0, 0.0));  // explicit zero pad for the reference
+    const Fft pruned(n, nz);
+    EXPECT_EQ(pruned.n_nonzero(), nz);
+    auto fast = in;
+    pruned.forward(fast);
+    EXPECT_LT(max_error(fast, naive_dft(in)), 1e-6 * static_cast<double>(n));
+}
+
+TEST_P(PrunedShapes, PrunedEqualsDenseAtIdenticalShape) {
+    // Skipping structurally-zero butterflies must not change the result:
+    // every output of the pruned schedule equals the dense one under
+    // operator== (a skipped multiply may flip the sign of an exact zero,
+    // which IEEE-754 equality deliberately ignores).
+    const auto [n, nz] = GetParam();
+    auto in = random_signal(nz, static_cast<unsigned>(2 * n + nz));
+    in.resize(n, cplx(0.0, 0.0));
+    auto dense_out = in;
+    fft_plan(n).forward(dense_out);
+    auto pruned_out = in;
+    Fft(n, nz).forward(pruned_out);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_EQ(pruned_out[k].real(), dense_out[k].real()) << "k=" << k;
+        EXPECT_EQ(pruned_out[k].imag(), dense_out[k].imag()) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZeroPaddedShapes, PrunedShapes,
+    ::testing::Values(PrunedCase{64, 40}, PrunedCase{256, 17},
+                      PrunedCase{2048, 1250},  // packed half of the sweep
+                      PrunedCase{4096, 2500},  // production zero-pad shape
+                      PrunedCase{8192, 2500},  // Bluestein convolution shape
+                      PrunedCase{4096, 1}, PrunedCase{4096, 4095}),
+    [](const ::testing::TestParamInfo<PrunedCase>& info) {
+        return "N" + std::to_string(info.param.n) + "nz" +
+               std::to_string(info.param.nonzero);
+    });
+
+// --------------------------------------------------- r2c half spectrum
+
+struct RealCase {
+    std::size_t n;        ///< real transform size
+    std::size_t nonzero;  ///< live input samples (0 = dense)
+};
+
+class RealShapes : public ::testing::TestWithParam<RealCase> {};
+
+TEST_P(RealShapes, HalfSpectrumMatchesNaiveDft) {
+    const auto [n, nz_raw] = GetParam();
+    const std::size_t nz = nz_raw == 0 ? n : nz_raw;
+    std::mt19937 rng(static_cast<unsigned>(n + 3 * nz));
+    std::normal_distribution<double> dist;
+    std::vector<double> x(nz);
+    for (auto& v : x) v = dist(rng);
+
+    std::vector<cplx> padded(n, cplx(0.0, 0.0));
+    for (std::size_t i = 0; i < nz; ++i) padded[i] = cplx(x[i], 0.0);
+    const auto reference = naive_dft(padded);
+
+    RealFft rfft(n, nz_raw);
+    EXPECT_EQ(rfft.n_nonzero(), nz);
+    EXPECT_EQ(rfft.spectrum_size(), n / 2 + 1);
+    FftScratch scratch;
+    std::vector<cplx> out;
+    rfft.forward(x, out, scratch);
+    ASSERT_EQ(out.size(), n / 2 + 1);
+    for (std::size_t k = 0; k < out.size(); ++k)
+        EXPECT_LT(std::abs(out[k] - reference[k]), 1e-6 * static_cast<double>(n))
+            << "k=" << k;
+}
+
+TEST_P(RealShapes, WindowedForwardEqualsPremultiplied) {
+    const auto [n, nz_raw] = GetParam();
+    const std::size_t nz = nz_raw == 0 ? n : nz_raw;
+    std::mt19937 rng(static_cast<unsigned>(5 * n + nz));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> x(nz), w(nz), xw(nz);
+    for (std::size_t i = 0; i < nz; ++i) {
+        x[i] = dist(rng);
+        w[i] = 0.5 + 0.5 * dist(rng);
+        xw[i] = x[i] * w[i];
+    }
+    RealFft rfft(n, nz_raw);
+    FftScratch sa, sb;
+    std::vector<cplx> fused, premultiplied;
+    rfft.forward_windowed(x, w, fused, sa);
+    rfft.forward(xw, premultiplied, sb);
+    ASSERT_EQ(fused.size(), premultiplied.size());
+    for (std::size_t k = 0; k < fused.size(); ++k) {
+        EXPECT_EQ(fused[k].real(), premultiplied[k].real()) << "k=" << k;
+        EXPECT_EQ(fused[k].imag(), premultiplied[k].imag()) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DenseAndPruned, RealShapes,
+    ::testing::Values(RealCase{16, 0}, RealCase{64, 0}, RealCase{2048, 0},
+                      RealCase{4096, 0},
+                      RealCase{250, 0},        // Bluestein half (125 points)
+                      RealCase{2500, 0},       // paper-literal sweep size
+                      RealCase{17, 0},         // odd-N fallback
+                      RealCase{17, 9},         // odd-N fallback, padded
+                      RealCase{512, 250},      // pruned: test-sized sweep
+                      RealCase{4096, 2500},    // pruned: production shape
+                      RealCase{4096, 2501},    // odd live prefix
+                      RealCase{1024, 1000}),   // prune beyond half
+    [](const ::testing::TestParamInfo<RealCase>& info) {
+        return "N" + std::to_string(info.param.n) + "nz" +
+               std::to_string(info.param.nonzero);
+    });
+
+TEST(RealFftSuite, PrunedEqualsDenseOnPaddedInput) {
+    // Same real input, once through the pruned plan (short span) and once
+    // through the dense plan (explicitly padded span): equal under ==.
+    const std::size_t n = 4096, nz = 2500;
+    std::mt19937 rng(11);
+    std::normal_distribution<double> dist;
+    std::vector<double> x(nz);
+    for (auto& v : x) v = dist(rng);
+    std::vector<double> padded = x;
+    padded.resize(n, 0.0);
+
+    FftScratch sa, sb;
+    std::vector<cplx> pruned_out, dense_out;
+    RealFft(n, nz).forward(x, pruned_out, sa);
+    RealFft(n).forward(padded, dense_out, sb);
+    ASSERT_EQ(pruned_out.size(), dense_out.size());
+    for (std::size_t k = 0; k < pruned_out.size(); ++k) {
+        EXPECT_EQ(pruned_out[k].real(), dense_out[k].real()) << "k=" << k;
+        EXPECT_EQ(pruned_out[k].imag(), dense_out[k].imag()) << "k=" << k;
+    }
+}
+
+TEST(FftPlanCacheSuite, PrunedAndDensePlansAreDistinctSharedEntries) {
+    FftPlanCache cache;
+    // Pruned and dense complex plans of one size are different schedules,
+    // so they are distinct cache entries...
+    const auto dense = cache.complex_plan(4096);
+    const auto pruned = cache.complex_plan(4096, 2500);
+    EXPECT_NE(dense.get(), pruned.get());
+    EXPECT_EQ(dense->n_nonzero(), 4096u);
+    EXPECT_EQ(pruned->n_nonzero(), 2500u);
+    // ...while each shape stays one shared entry across sessions.
+    EXPECT_EQ(cache.complex_plan(4096, 2500).get(), pruned.get());
+    const auto real_pruned = cache.real_plan(4096, 2500);
+    EXPECT_NE(cache.real_plan(4096).get(), real_pruned.get());
+    EXPECT_EQ(cache.real_plan(4096, 2500).get(), real_pruned.get());
+    // Degenerate pruning requests normalize onto the dense entry...
+    EXPECT_EQ(cache.complex_plan(4096, 4096).get(), dense.get());
+    EXPECT_EQ(cache.complex_plan(4096, 0).get(), dense.get());
+    // ...and non-power-of-two sizes always plan dense.
+    EXPECT_EQ(cache.complex_plan(2500, 1000).get(),
+              cache.complex_plan(2500).get());
 }
 
 }  // namespace

@@ -545,8 +545,11 @@ TEST(Fleet, SessionsShareOneFftPlan) {
     // Same pointer: the twiddle/chirp tables exist once for the fleet.
     EXPECT_EQ(plan_a, plan_b);
     // And they came from the host's cache (the process-global one here).
+    // The processor's plan shape is (fft_size, pruned to the sweep length).
+    const auto& shared_pipeline = host.session(a)->pipeline_config();
     EXPECT_EQ(plan_a, host.plan_cache()
-                          .real_plan(host.session(a)->pipeline_config().fft_size)
+                          .real_plan(shared_pipeline.fft_size,
+                                     shared_pipeline.fmcw.samples_per_sweep())
                           .get());
 
     // A host with a private cache is isolated from the global plans.

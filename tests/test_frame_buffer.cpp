@@ -165,21 +165,25 @@ TEST(FrameBufferTest, SpectraBitForBitAcrossEntryPoints) {
 
 TEST(FrameBufferTest, RealFftMatchesComplexReference) {
     // Even (packed path, power-of-two half), even with Bluestein half, odd
-    // (fallback): all must agree with the reference complex transform.
+    // (fallback): the half spectrum must agree with the non-redundant bins
+    // of the reference complex transform of the same real input.
     for (const std::size_t n : {16u, 250u, 17u}) {
         std::mt19937 rng(n);
         std::normal_distribution<double> dist(0.0, 1.0);
         std::vector<double> x(n);
         for (auto& v : x) v = dist(rng);
 
-        const auto reference = dsp::fft_plan(n).forward_real(x);
+        std::vector<dsp::cplx> reference(n);
+        for (std::size_t i = 0; i < n; ++i) reference[i] = dsp::cplx(x[i], 0.0);
+        dsp::fft_plan(n).forward(reference);
+
         dsp::RealFft rfft(n);
         dsp::FftScratch scratch;
         std::vector<dsp::cplx> out;
         rfft.forward(x, out, scratch);
 
-        ASSERT_EQ(out.size(), n);
-        for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(out.size(), n / 2 + 1);
+        for (std::size_t k = 0; k < out.size(); ++k) {
             EXPECT_NEAR(out[k].real(), reference[k].real(), 1e-9) << "k=" << k;
             EXPECT_NEAR(out[k].imag(), reference[k].imag(), 1e-9) << "k=" << k;
         }
@@ -194,8 +198,12 @@ TEST(FrameBufferTest, SweepProcessorSteadyStateDoesNotAllocate) {
     const std::size_t n = fmcw.samples_per_sweep();
     FrameBuffer frame = FrameBuffer::from_nested(make_nested(5, 3, n));
 
-    // Both the zero-padded radix-2 path and the paper-literal Bluestein
-    // path must be allocation-free once buffers are warm.
+    // Both transform shapes must be allocation-free once buffers are warm:
+    // the zero-padded pruned r2c kernel path (250 live samples into a
+    // 512-point plan, power-of-two half) and the paper-literal Bluestein
+    // path (fft_size 0, non-power-of-two half). This covers the SoA
+    // scratch layout (packing planes + kernel ping-pong planes + Bluestein
+    // convolution planes) and the fused background difference-and-store.
     for (const std::size_t fft_size : {std::size_t{512}, std::size_t{0}}) {
         core::SweepProcessor processor(fmcw, dsp::WindowType::kHann, fft_size);
         core::BackgroundSubtractor background;
@@ -214,6 +222,32 @@ TEST(FrameBufferTest, SweepProcessorSteadyStateDoesNotAllocate) {
         EXPECT_EQ(g_allocations.load() - before, 0u)
             << "fft_size=" << fft_size;
     }
+}
+
+TEST(FrameBufferTest, StaticTrainingSubtractSteadyStateDoesNotAllocate) {
+    // The learned-background mode shares the frame path with kFrameDiff;
+    // its subtract must be allocation-free at steady state too.
+    FmcwParams fmcw;
+    fmcw.sweep_duration_s = 250e-6;
+    const std::size_t n = fmcw.samples_per_sweep();
+    FrameBuffer frame = FrameBuffer::from_nested(make_nested(5, 1, n));
+
+    core::SweepProcessor processor(fmcw, dsp::WindowType::kHann, 512);
+    core::BackgroundSubtractor background(core::BackgroundMode::kStaticTraining);
+    core::RangeProfile profile;
+    std::vector<double> magnitude;
+    for (int i = 0; i < 3; ++i) {
+        processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+        background.train(profile);
+    }
+    background.subtract_into(profile, magnitude);  // warm the output
+
+    const std::size_t before = g_allocations.load();
+    for (int pass = 0; pass < 10; ++pass) {
+        processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
+        background.subtract_into(profile, magnitude);
+    }
+    EXPECT_EQ(g_allocations.load() - before, 0u);
 }
 
 // -------------------------------------------------- tracker determinism

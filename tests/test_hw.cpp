@@ -9,6 +9,7 @@
 #include "common/constants.hpp"
 #include "common/random.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan_cache.hpp"
 #include "hw/adc.hpp"
 #include "hw/frontend.hpp"
 #include "hw/mixer.hpp"
@@ -21,6 +22,16 @@ namespace {
 
 using geom::Vec3;
 using rf::BodyScatterer;
+
+/// r2c half spectrum (N/2 + 1 bins) of a real sweep through a shared
+/// cached RealFft plan -- every bin these tests inspect is below Nyquist.
+std::vector<dsp::cplx> half_spectrum(const std::vector<double>& x) {
+    const auto plan = dsp::FftPlanCache::global().real_plan(x.size());
+    dsp::FftScratch scratch;
+    std::vector<dsp::cplx> out;
+    plan->forward(x, out, scratch);
+    return out;
+}
 
 // -------------------------------------------------------------------- VCO
 
@@ -98,7 +109,7 @@ TEST(MixerTest, ToneLandsAtBeatFrequencyBin) {
     path.round_trip_m = 10.0;
     path.amplitude = 1.0;
     const auto sweep = mixer.synthesize({&path, 1});
-    const auto spectrum = dsp::fft_forward_real(sweep);
+    const auto spectrum = half_spectrum(sweep);
 
     const double beat = fmcw.slope() * (10.0 / kSpeedOfLight);
     const auto expected_bin = static_cast<std::size_t>(
@@ -117,7 +128,7 @@ TEST(MixerTest, AmplitudePreserved) {
     path.round_trip_m = 68.0 * fmcw.round_trip_bin_m();
     path.amplitude = 0.5;
     const auto sweep = mixer.synthesize({&path, 1});
-    const auto spectrum = dsp::fft_forward_real(sweep);
+    const auto spectrum = half_spectrum(sweep);
     double peak = 0.0;
     for (std::size_t k = 1; k < sweep.size() / 2; ++k)
         peak = std::max(peak, std::abs(spectrum[k]));
@@ -151,7 +162,7 @@ TEST(MixerTest, NonlinearityRaisesSidelobes) {
     path.round_trip_m = 100.0 * fmcw.round_trip_bin_m();
     path.amplitude = 1.0;
     auto energy_off_peak = [&](const std::vector<double>& sweep) {
-        const auto spec = dsp::fft_forward_real(sweep);
+        const auto spec = half_spectrum(sweep);
         std::size_t best = 0;
         for (std::size_t k = 1; k < sweep.size() / 2; ++k)
             if (std::abs(spec[k]) > std::abs(spec[best])) best = k;
@@ -264,7 +275,7 @@ TEST(FrontendTest, BodyEchoAppearsAtCorrectBin) {
     for (std::size_t i = 0; i < diff.size(); ++i)
         diff[i] = sweeps[0][i] - statics[0][i];
 
-    const auto spec = dsp::fft_forward_real(diff);
+    const auto spec = half_spectrum(diff);
     std::size_t best = 1;
     for (std::size_t k = 2; k < diff.size() / 2; ++k)
         if (std::abs(spec[k]) > std::abs(spec[best])) best = k;
@@ -287,7 +298,7 @@ TEST(FrontendTest, HighPassSuppressesLeakageBeat) {
 
     FmcwFrontend filtered(config, simple_channel(), Rng(3));
     const auto out = capture_sweep(filtered, {});
-    const auto spec = dsp::fft_forward_real(out[0]);
+    const auto spec = half_spectrum(out[0]);
 
     // Leakage round trip = 1 m -> beat = slope/c ~ 2.3 kHz -> bin ~ 5.6.
     const auto leak_bin = static_cast<std::size_t>(
@@ -300,7 +311,7 @@ TEST(FrontendTest, HighPassSuppressesLeakageBeat) {
     leak.round_trip_m = 1.0;
     leak.amplitude = std::sqrt(config.fmcw.tx_power_w * from_db(-50.0));
     const auto raw = mixer.synthesize({&leak, 1});
-    const auto raw_spec = dsp::fft_forward_real(raw);
+    const auto raw_spec = half_spectrum(raw);
     const double raw_power = std::abs(raw_spec[std::max<std::size_t>(leak_bin, 1)]);
 
     EXPECT_LT(leak_power, raw_power * 0.5);

@@ -93,7 +93,9 @@ TEST(RangeFft, PaperLiteralModeUsesSweepLength) {
     const auto config = test_config();
     SweepProcessor processor(config.fmcw, config.window, 0);
     const auto profile = process_sweeps(processor, {sweep_with_echo(config.fmcw, 8.0)});
-    EXPECT_EQ(profile.spectrum.size(), config.fmcw.samples_per_sweep());
+    // r2c half-spectrum contract: usable_bins + 1 bins (DC..Nyquist).
+    EXPECT_EQ(profile.usable_bins, config.fmcw.samples_per_sweep() / 2);
+    EXPECT_EQ(profile.spectrum.size(), profile.usable_bins + 1);
     EXPECT_NEAR(profile.bin_round_trip_m, config.fmcw.round_trip_bin_m(), 1e-12);
 }
 
