@@ -6,15 +6,23 @@
 // add dispatch overhead there).
 //
 // Run:  ./build/bench_fleet [output.json]
+//       ./build/bench_fleet --snapshot-json [output.json]
+//
+// The --snapshot-json mode measures the session snapshot/restore path
+// instead: checkpoint latency, snapshot byte size and restore latency per
+// canonical session shape, into bench/snapshot_latency.json.
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "engine/host.hpp"
+#include "engine/replay.hpp"
 #include "engine/sim_source.hpp"
 
 using namespace witrack;
@@ -66,9 +74,154 @@ Point run_fleet(std::size_t workers, std::size_t sessions) {
     return point;
 }
 
+// ------------------------------------------------ snapshot latency mode
+
+struct SnapshotPoint {
+    std::string shape;
+    std::size_t frames_at_snapshot = 0;
+    std::size_t bytes = 0;
+    double snapshot_us = 0.0;  ///< mean checkpoint wall clock
+    double restore_us = 0.0;   ///< mean restore-into-fresh-engine wall clock
+};
+
+/// Run a session shape halfway, then measure Engine::snapshot and
+/// Engine::restore on it. The restored engine is run to completion once as
+/// a sanity check that the measured snapshot actually resumes.
+SnapshotPoint measure_snapshot(
+    const std::string& shape,
+    const std::function<std::unique_ptr<engine::Engine>()>& make_session) {
+    constexpr std::size_t kSnapshotReps = 100;
+    constexpr std::size_t kRestoreReps = 10;
+
+    auto session = make_session();
+    std::size_t episode_frames = 0;
+    {
+        auto probe = make_session();
+        probe->run();
+        episode_frames = probe->frames_processed();
+    }
+    for (std::size_t i = 0; i < episode_frames / 2; ++i) session->step();
+
+    SnapshotPoint point;
+    point.shape = shape;
+    point.frames_at_snapshot = session->frames_processed();
+
+    std::string bytes;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < kSnapshotReps; ++rep) {
+        std::ostringstream out;
+        session->snapshot(out);
+        bytes = out.str();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    point.bytes = bytes.size();
+    point.snapshot_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kSnapshotReps;
+
+    std::unique_ptr<engine::Engine> restored;
+    const auto t2 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < kRestoreReps; ++rep) {
+        restored = make_session();
+        std::istringstream in(bytes);
+        restored->restore(in);
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    point.restore_us =
+        std::chrono::duration<double, std::micro>(t3 - t2).count() / kRestoreReps;
+
+    restored->run();
+    if (restored->frames_processed() != episode_frames) {
+        std::fprintf(stderr, "%s: restored session finished at %zu frames, "
+                             "expected %zu\n",
+                     shape.c_str(), restored->frames_processed(), episode_frames);
+        std::exit(1);
+    }
+
+    std::printf("  %-20s  %5zu frames  %7zu bytes  snapshot %8.1f us  "
+                "restore %8.1f us\n",
+                point.shape.c_str(), point.frames_at_snapshot, point.bytes,
+                point.snapshot_us, point.restore_us);
+    return point;
+}
+
+int run_snapshot_bench(const std::string& path) {
+    const std::string recording = "bench_snapshot_episode.wtrk";
+    {
+        auto config = session_config(907);
+        engine::SimSource live(config,
+                               std::make_unique<sim::LineWalkScript>(
+                                   geom::Vec3{-1, 5, 0}, geom::Vec3{1, 5, 0},
+                                   2.0, 1.0));
+        engine::Recorder recorder(recording, live.fmcw(), live.array());
+        engine::Frame frame;
+        while (live.next(frame)) recorder.write(frame);
+    }
+
+    std::printf("session snapshot/restore latency:\n");
+    std::vector<SnapshotPoint> points;
+    points.push_back(measure_snapshot("sim-full", [] {
+        auto config = session_config(901);
+        return std::make_unique<engine::Engine>(
+            config, make_source(901));
+    }));
+    points.push_back(measure_snapshot("sim-tof-only", [] {
+        auto config = session_config(902);
+        config.with_outputs(core::PipelineOutputs::kTof);
+        return std::make_unique<engine::Engine>(config, make_source(902));
+    }));
+    points.push_back(measure_snapshot("replay-localize-only", [&] {
+        auto config = session_config(907);
+        config.with_outputs(core::PipelineOutputs::kRawPosition);
+        return std::make_unique<engine::Engine>(
+            config, std::make_unique<engine::ReplaySource>(recording));
+    }));
+    std::remove(recording.c_str());
+
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"bench_fleet --snapshot-json\",\n");
+    std::fprintf(out,
+                 "  \"scenario\": \"Engine::snapshot / Engine::restore at "
+                 "mid-episode for the three canonical session shapes "
+                 "(LineWalkScript, fast capture, ~160 frames); restore "
+                 "includes fast-forwarding the replay cursor for the replay "
+                 "shape\",\n");
+    std::fprintf(out, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    if (std::thread::hardware_concurrency() < 2) {
+        std::fprintf(out,
+                     "  \"note\": \"single-core host: absolute latencies are "
+                     "pessimistic; the byte sizes are machine-independent\",\n");
+    }
+    std::fprintf(out, "  \"sessions\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& p = points[i];
+        std::fprintf(out,
+                     "    {\"shape\": \"%s\", \"frames_at_snapshot\": %zu, "
+                     "\"snapshot_bytes\": %zu, \"snapshot_us\": %.1f, "
+                     "\"restore_us\": %.1f}%s\n",
+                     p.shape.c_str(), p.frames_at_snapshot, p.bytes,
+                     p.snapshot_us, p.restore_us,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::string(argv[1]) == "--snapshot-json") {
+        return run_snapshot_bench(argc > 2 ? argv[2]
+                                           : "bench/snapshot_latency.json");
+    }
     const std::string path =
         argc > 1 ? argv[1] : std::string("bench/fleet_throughput.json");
 

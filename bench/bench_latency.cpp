@@ -122,10 +122,10 @@ void BM_EngineStep(benchmark::State& state) {
     std::size_t updates = 0;
     for (auto _ : state) {
         state.PauseTiming();
-        engine::SimSource source(config, std::make_unique<sim::LineWalkScript>(
-                                             geom::Vec3{-1, 5, 0},
-                                             geom::Vec3{1, 5, 0}, 2.0, 1.0));
-        engine::Engine eng(config, source);
+        engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                       config, std::make_unique<sim::LineWalkScript>(
+                                                   geom::Vec3{-1, 5, 0},
+                                                   geom::Vec3{1, 5, 0}, 2.0, 1.0)));
         eng.bus().subscribe<engine::TrackUpdateEvent>(
             [&](const engine::TrackUpdateEvent&) { ++updates; });
         state.ResumeTiming();

@@ -20,7 +20,14 @@ for config in Debug Release; do
   # runs exactly once per configuration.
   echo "=== ${config}: FFT accuracy suite ==="
   (cd "${build_dir}" && ctest -R '^test_fft$' --output-on-failure)
-  (cd "${build_dir}" && ctest -E '^test_fft$' --output-on-failure -j)
+  # The snapshot/restore parity suite also runs explicitly per configuration:
+  # bit-identical resume depends on doubles surviving serialization verbatim,
+  # which must hold under both -O0 and -O3 code generation.
+  echo "=== ${config}: snapshot parity suite ==="
+  (cd "${build_dir}" && ctest -R '^test_snapshot$' --output-on-failure)
+  # The general run excludes the two suites above (each runs exactly once
+  # per configuration) and the soak label (a dedicated CI lane owns it).
+  (cd "${build_dir}" && ctest -E '^(test_fft|test_snapshot)$' -LE soak --output-on-failure -j)
 done
 
 echo "=== example smoke (Release) ==="

@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "core/fall.hpp"
 #include "core/pipeline_steps.hpp"
 #include "core/tracker.hpp"
@@ -55,6 +56,22 @@ class FallMonitor {
     std::size_t total_alerts() const { return total_alerts_; }
 
     std::size_t max_alerts() const { return max_alerts_; }
+
+    /// Serialize the detector state, the alert ring, and the lifetime
+    /// count; the callback is wiring, not state, and stays with the target.
+    void save_state(common::StateWriter& writer) const {
+        detector_.save_state(writer);
+        writer.u64(total_alerts_);
+        writer.u64(alerts_.size());
+        for (const auto& alert : alerts_) core::save_state(writer, alert);
+    }
+
+    void load_state(common::StateReader& reader) {
+        detector_.load_state(reader);
+        total_alerts_ = static_cast<std::size_t>(reader.u64());
+        alerts_.resize(reader.count(sizeof(double)));
+        for (auto& alert : alerts_) core::load_state(reader, alert);
+    }
 
   private:
     core::FallDetector detector_;

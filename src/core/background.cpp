@@ -3,7 +3,32 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace witrack::core {
+
+namespace {
+
+// Complex spectra serialize as interleaved re/im doubles.
+void save_spectrum(common::StateWriter& writer, const std::vector<dsp::cplx>& v) {
+    writer.u64(v.size());
+    for (const auto& z : v) {
+        writer.f64(z.real());
+        writer.f64(z.imag());
+    }
+}
+
+void load_spectrum(common::StateReader& reader, std::vector<dsp::cplx>& v) {
+    const auto n = reader.count(2 * sizeof(double));
+    v.resize(n);
+    for (auto& z : v) {
+        const double re = reader.f64();
+        const double im = reader.f64();
+        z = {re, im};
+    }
+}
+
+}  // namespace
 
 void BackgroundSubtractor::train(const RangeProfile& profile) {
     if (mode_ != BackgroundMode::kStaticTraining)
@@ -65,6 +90,24 @@ void BackgroundSubtractor::reset() {
     learned_sum_.clear();
     trained_count_ = 0;
     has_previous_ = false;
+}
+
+void BackgroundSubtractor::save_state(common::StateWriter& writer) const {
+    writer.u8(static_cast<std::uint8_t>(mode_));
+    writer.boolean(has_previous_);
+    save_spectrum(writer, previous_);
+    save_spectrum(writer, learned_sum_);
+    writer.u64(trained_count_);
+}
+
+void BackgroundSubtractor::load_state(common::StateReader& reader) {
+    const auto mode = static_cast<BackgroundMode>(reader.u8());
+    if (mode != mode_)
+        throw std::runtime_error("BackgroundSubtractor: snapshot mode mismatch");
+    has_previous_ = reader.boolean();
+    load_spectrum(reader, previous_);
+    load_spectrum(reader, learned_sum_);
+    trained_count_ = static_cast<std::size_t>(reader.u64());
 }
 
 }  // namespace witrack::core

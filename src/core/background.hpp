@@ -17,6 +17,11 @@
 
 #include "core/range_fft.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::core {
 
 enum class BackgroundMode {
@@ -50,6 +55,13 @@ class BackgroundSubtractor {
     void subtract_into(const RangeProfile& profile, std::vector<double>& out);
 
     void reset();
+
+    /// Serialize the accumulated history (previous spectrum, learned
+    /// background, training count). The mode is written too and validated
+    /// on load -- restoring into a subtractor built for the other mode is
+    /// a wiring error, not a recoverable state.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     BackgroundMode mode_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/serialize.hpp"
+
 namespace witrack::core {
 
 TofDenoiser::TofDenoiser(const PipelineConfig& config)
@@ -57,6 +59,23 @@ void TofDenoiser::reset() {
     last_value_.reset();
     outlier_streak_ = 0;
     closer_streak_ = 0;
+}
+
+void TofDenoiser::save_state(common::StateWriter& writer) const {
+    kalman_.save_state(writer);
+    writer.boolean(last_value_.has_value());
+    writer.f64(last_value_.value_or(0.0));
+    writer.u64(outlier_streak_);
+    writer.u64(closer_streak_);
+}
+
+void TofDenoiser::load_state(common::StateReader& reader) {
+    kalman_.load_state(reader);
+    const bool have_last = reader.boolean();
+    const double last = reader.f64();
+    last_value_ = have_last ? std::optional<double>(last) : std::nullopt;
+    outlier_streak_ = static_cast<std::size_t>(reader.u64());
+    closer_streak_ = static_cast<std::size_t>(reader.u64());
 }
 
 }  // namespace witrack::core

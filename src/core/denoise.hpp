@@ -10,6 +10,11 @@
 #include "core/params.hpp"
 #include "dsp/kalman.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::core {
 
 class TofDenoiser {
@@ -30,6 +35,9 @@ class TofDenoiser {
     const std::optional<double>& last_value() const { return last_value_; }
 
     void reset();
+
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     void accept(double measurement, double dt);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "common/serialize.hpp"
 #include "dsp/stats.hpp"
 
 namespace witrack::core {
@@ -141,6 +143,39 @@ std::optional<FallDetector::Analysis> FallDetector::push(const TrackPoint& point
         return analysis;
     }
     return std::nullopt;
+}
+
+void FallDetector::save_state(common::StateWriter& writer) const {
+    writer.u64(window_.size());
+    for (const auto& point : window_) core::save_state(writer, point);
+    writer.boolean(in_low_state_);
+    writer.f64(standing_level_at_alert_);
+}
+
+void FallDetector::load_state(common::StateReader& reader) {
+    window_.resize(reader.count(sizeof(double)));
+    for (auto& point : window_) core::load_state(reader, point);
+    in_low_state_ = reader.boolean();
+    standing_level_at_alert_ = reader.f64();
+}
+
+void save_state(common::StateWriter& writer, const FallDetector::Analysis& analysis) {
+    writer.u8(static_cast<std::uint8_t>(analysis.activity));
+    writer.f64(analysis.initial_elevation_m);
+    writer.f64(analysis.final_elevation_m);
+    writer.f64(analysis.drop_fraction);
+    writer.f64(analysis.drop_duration_s);
+}
+
+void load_state(common::StateReader& reader, FallDetector::Analysis& analysis) {
+    const auto activity = reader.u8();
+    if (activity > static_cast<std::uint8_t>(Activity::kFall))
+        throw std::runtime_error("FallDetector: corrupt activity in snapshot");
+    analysis.activity = static_cast<Activity>(activity);
+    analysis.initial_elevation_m = reader.f64();
+    analysis.final_elevation_m = reader.f64();
+    analysis.drop_fraction = reader.f64();
+    analysis.drop_duration_s = reader.f64();
 }
 
 }  // namespace witrack::core

@@ -51,6 +51,10 @@ class FallDetector {
 
     const FallDetectorConfig& config() const { return config_; }
 
+    /// Serialize the streaming state (analysis window, low-state latch).
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
+
   private:
     std::vector<double> smoothed_elevations(const std::vector<TrackPoint>& track) const;
 
@@ -59,5 +63,9 @@ class FallDetector {
     bool in_low_state_ = false;
     double standing_level_at_alert_ = 0.0;
 };
+
+/// Value-type serialization for retained alert history (fall-monitor ring).
+void save_state(common::StateWriter& writer, const FallDetector::Analysis& analysis);
+void load_state(common::StateReader& reader, FallDetector::Analysis& analysis);
 
 }  // namespace witrack::core

@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/serialize.hpp"
+
 namespace witrack::core {
+
+void save_state(common::StateWriter& writer, const TrackPoint& point) {
+    writer.f64(point.time_s);
+    writer.vec3(point.position);
+    writer.f64(point.residual_rms);
+    writer.boolean(point.clamped);
+}
+
+void load_state(common::StateReader& reader, TrackPoint& point) {
+    point.time_s = reader.f64();
+    reader.vec3(point.position);
+    point.residual_rms = reader.f64();
+    point.clamped = reader.boolean();
+}
 
 Localizer::Localizer(const geom::ArrayGeometry& array, const PipelineConfig& config)
     : solver_(array), config_(config) {}

@@ -12,6 +12,11 @@
 #include "geom/array_geometry.hpp"
 #include "geom/solver.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::core {
 
 struct TrackPoint {
@@ -20,6 +25,10 @@ struct TrackPoint {
     double residual_rms = 0.0;  ///< solver consistency metric [m]
     bool clamped = false;       ///< solver clamped y into the antenna plane
 };
+
+/// Value-type serialization for track history (tracker, fall window).
+void save_state(common::StateWriter& writer, const TrackPoint& point);
+void load_state(common::StateReader& reader, TrackPoint& point);
 
 class Localizer {
   public:

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
 
 namespace witrack::core {
 
@@ -122,6 +125,30 @@ std::vector<MultiPersonTracker::PersonEstimate> MultiPersonTracker::process(
         }
     }
     return out;
+}
+
+void MultiPersonTracker::save_state(common::StateWriter& writer) const {
+    writer.u64(tracks_.size());
+    for (const auto& track : tracks_) {
+        track.filter.save_state(writer);
+        writer.boolean(track.initialized);
+        writer.u64(track.misses);
+    }
+    writer.f64(last_time_s_);
+    writer.boolean(have_time_);
+}
+
+void MultiPersonTracker::load_state(common::StateReader& reader) {
+    const auto count = static_cast<std::size_t>(reader.u64());
+    if (count != tracks_.size())
+        throw std::runtime_error("MultiPersonTracker: snapshot track count mismatch");
+    for (auto& track : tracks_) {
+        track.filter.load_state(reader);
+        track.initialized = reader.boolean();
+        track.misses = static_cast<std::size_t>(reader.u64());
+    }
+    last_time_s_ = reader.f64();
+    have_time_ = reader.boolean();
 }
 
 }  // namespace witrack::core

@@ -36,6 +36,10 @@ class MultiPersonTracker {
 
     std::size_t max_people() const { return max_people_; }
 
+    /// Serialize per-person filter tracks and the inter-frame bookkeeping.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
+
   private:
     struct Track {
         dsp::PositionKalman filter;

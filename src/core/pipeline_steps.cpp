@@ -1,5 +1,7 @@
 #include "core/pipeline_steps.hpp"
 
+#include "common/serialize.hpp"
+
 namespace witrack::core {
 
 std::string to_string(PipelineOutputs v) {
@@ -36,6 +38,18 @@ std::optional<TrackPoint> SmoothStep::run(const std::optional<TrackPoint>& raw,
 void SmoothStep::reset() {
     filter_.reset();
     have_last_time_ = false;
+}
+
+void SmoothStep::save_state(common::StateWriter& writer) const {
+    filter_.save_state(writer);
+    writer.f64(last_time_s_);
+    writer.boolean(have_last_time_);
+}
+
+void SmoothStep::load_state(common::StateReader& reader) {
+    filter_.load_state(reader);
+    last_time_s_ = reader.f64();
+    have_last_time_ = reader.boolean();
 }
 
 }  // namespace witrack::core

@@ -20,7 +20,9 @@
 
 namespace witrack::common {
 class WorkerPool;
-}
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
 
 namespace witrack::core {
 
@@ -88,6 +90,11 @@ class TofStep {
 
     void reset() { estimator_.reset(); }
 
+    void save_state(common::StateWriter& writer) const {
+        estimator_.save_state(writer);
+    }
+    void load_state(common::StateReader& reader) { estimator_.load_state(reader); }
+
   private:
     TofEstimator estimator_;
 };
@@ -122,6 +129,10 @@ class SmoothStep {
                                   double time_s);
 
     void reset();
+
+    /// Serialize the filter and the inter-frame dt bookkeeping.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     dsp::PositionKalman filter_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/serialize.hpp"
 #include "common/worker_pool.hpp"
 
 namespace witrack::core {
@@ -117,6 +118,74 @@ void TofEstimator::reset() {
         antenna.denoiser.reset();
         antenna.gated_streak = 0;
     }
+}
+
+void TofEstimator::save_state(common::StateWriter& writer) const {
+    writer.u64(per_rx_.size());
+    for (const auto& antenna : per_rx_) {
+        antenna.background.save_state(writer);
+        antenna.denoiser.save_state(writer);
+        writer.u64(antenna.gated_streak);
+    }
+}
+
+void TofEstimator::load_state(common::StateReader& reader) {
+    const auto num_rx = static_cast<std::size_t>(reader.u64());
+    if (num_rx != per_rx_.size())
+        throw std::runtime_error("TofEstimator: snapshot antenna count mismatch");
+    for (auto& antenna : per_rx_) {
+        antenna.background.load_state(reader);
+        antenna.denoiser.load_state(reader);
+        antenna.gated_streak = static_cast<std::size_t>(reader.u64());
+    }
+}
+
+void save_state(common::StateWriter& writer, const ContourPoint& point) {
+    writer.boolean(point.detected);
+    writer.f64(point.round_trip_m);
+    writer.f64(point.power);
+    writer.f64(point.noise_floor);
+    writer.f64(point.extent_m);
+}
+
+void load_state(common::StateReader& reader, ContourPoint& point) {
+    point.detected = reader.boolean();
+    point.round_trip_m = reader.f64();
+    point.power = reader.f64();
+    point.noise_floor = reader.f64();
+    point.extent_m = reader.f64();
+}
+
+void save_state(common::StateWriter& writer, const AntennaFrame& antenna) {
+    save_state(writer, antenna.contour);
+    writer.boolean(antenna.denoised_m.has_value());
+    writer.f64(antenna.denoised_m.value_or(0.0));
+    writer.u64(antenna.peaks.size());
+    for (const auto& peak : antenna.peaks) save_state(writer, peak);
+    writer.f64_vector(antenna.profile);
+}
+
+void load_state(common::StateReader& reader, AntennaFrame& antenna) {
+    load_state(reader, antenna.contour);
+    const bool have_denoised = reader.boolean();
+    const double denoised = reader.f64();
+    antenna.denoised_m =
+        have_denoised ? std::optional<double>(denoised) : std::nullopt;
+    antenna.peaks.resize(reader.count(sizeof(double)));
+    for (auto& peak : antenna.peaks) load_state(reader, peak);
+    antenna.profile = reader.f64_vector();
+}
+
+void save_state(common::StateWriter& writer, const TofFrame& frame) {
+    writer.f64(frame.time_s);
+    writer.u64(frame.antennas.size());
+    for (const auto& antenna : frame.antennas) save_state(writer, antenna);
+}
+
+void load_state(common::StateReader& reader, TofFrame& frame) {
+    frame.time_s = reader.f64();
+    frame.antennas.resize(reader.count(sizeof(double)));
+    for (auto& antenna : frame.antennas) load_state(reader, antenna);
 }
 
 }  // namespace witrack::core

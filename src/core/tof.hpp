@@ -20,7 +20,9 @@
 
 namespace witrack::common {
 class WorkerPool;
-}
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
 
 namespace witrack::core {
 
@@ -105,6 +107,12 @@ class TofEstimator {
 
     void reset();
 
+    /// Serialize per-antenna training/streak state (background model,
+    /// denoiser, gate streak). Scratch buffers and FFT lanes are rebuilt
+    /// per frame and are not part of the state.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
+
   private:
     struct PerAntenna {
         BackgroundSubtractor background;
@@ -128,5 +136,14 @@ class TofEstimator {
     std::vector<RangeProfile> profiles_;          ///< reused per-rx spectra
     std::vector<std::vector<double>> magnitude_;  ///< reused per-rx profiles
 };
+
+/// Value-type serialization for recorded TOF observations (used by stages
+/// that keep TofFrame history, e.g. the pointing window).
+void save_state(common::StateWriter& writer, const ContourPoint& point);
+void load_state(common::StateReader& reader, ContourPoint& point);
+void save_state(common::StateWriter& writer, const AntennaFrame& antenna);
+void load_state(common::StateReader& reader, AntennaFrame& antenna);
+void save_state(common::StateWriter& writer, const TofFrame& frame);
+void load_state(common::StateReader& reader, TofFrame& frame);
 
 }  // namespace witrack::core

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
 
 namespace witrack::core {
+
+namespace {
+
+void save_track(common::StateWriter& writer, const std::vector<TrackPoint>& track) {
+    writer.u64(track.size());
+    for (const auto& point : track) save_state(writer, point);
+}
+
+void load_track(common::StateReader& reader, std::vector<TrackPoint>& track) {
+    track.resize(reader.count(sizeof(double)));
+    for (auto& point : track) load_state(reader, point);
+}
+
+}  // namespace
 
 WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
                                const geom::ArrayGeometry& array,
@@ -86,6 +103,34 @@ void WiTrackTracker::reset() {
     total_latency_s_ = 0.0;
     max_latency_s_ = 0.0;
     frames_ = 0;
+}
+
+void WiTrackTracker::save_state(common::StateWriter& writer) const {
+    // prev_demanded_ is part of the state: restoring it suppresses the
+    // demand-gap reset on the first post-restore frame, so a stable demand
+    // set resumes exactly where the snapshot left off.
+    writer.u8(static_cast<std::uint8_t>(prev_demanded_));
+    writer.u64(frames_);
+    writer.f64(total_latency_s_);
+    writer.f64(max_latency_s_);
+    save_track(writer, track_);
+    save_track(writer, raw_track_);
+    tof_step_.save_state(writer);
+    smooth_step_.save_state(writer);
+}
+
+void WiTrackTracker::load_state(common::StateReader& reader) {
+    const auto demanded = reader.u8();
+    if (demanded & ~static_cast<std::uint8_t>(PipelineOutputs::kAll))
+        throw std::runtime_error("WiTrackTracker: corrupt demand set in snapshot");
+    prev_demanded_ = static_cast<PipelineOutputs>(demanded);
+    frames_ = static_cast<std::size_t>(reader.u64());
+    total_latency_s_ = reader.f64();
+    max_latency_s_ = reader.f64();
+    load_track(reader, track_);
+    load_track(reader, raw_track_);
+    tof_step_.load_state(reader);
+    smooth_step_.load_state(reader);
 }
 
 }  // namespace witrack::core

@@ -17,6 +17,11 @@
 #include "core/tof.hpp"
 #include "geom/array_geometry.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::core {
 
 class WiTrackTracker {
@@ -75,6 +80,11 @@ class WiTrackTracker {
     const Localizer& localizer() const { return localize_step_.localizer(); }
 
     void reset();
+
+    /// Serialize the full tracker state: demand bookkeeping, track
+    /// histories, latency accounting, and every step's mutable state.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     /// Enforce max_track_history with amortized O(1) block trimming.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace witrack::dsp {
 
 OnePoleHighPass::OnePoleHighPass(double cutoff_hz, double sample_rate_hz) {
@@ -27,6 +29,16 @@ void OnePoleHighPass::process_in_place(std::span<double> signal) {
 void OnePoleHighPass::reset() {
     prev_x_ = 0.0;
     prev_y_ = 0.0;
+}
+
+void OnePoleHighPass::save_state(common::StateWriter& writer) const {
+    writer.f64(prev_x_);
+    writer.f64(prev_y_);
+}
+
+void OnePoleHighPass::load_state(common::StateReader& reader) {
+    prev_x_ = reader.f64();
+    prev_y_ = reader.f64();
 }
 
 OnePoleLowPass::OnePoleLowPass(double cutoff_hz, double sample_rate_hz) {

@@ -9,6 +9,11 @@
 #include <span>
 #include <vector>
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::dsp {
 
 /// First-order (one-pole) high-pass IIR filter:
@@ -22,6 +27,11 @@ class OnePoleHighPass {
     void process_in_place(std::span<double> signal);
     void reset();
     double coefficient() const { return a_; }
+
+    /// Serialize the delay line (prev_x_/prev_y_); the coefficient is a
+    /// construction parameter and stays with the target.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     double a_ = 0.0;

@@ -2,7 +2,26 @@
 
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace witrack::dsp {
+
+namespace {
+
+// Matrices serialize element-wise in row-major (r, c) order.
+template <std::size_t R, std::size_t C>
+void save_matrix(common::StateWriter& writer, const Matrix<R, C>& m) {
+    for (std::size_t r = 0; r < R; ++r)
+        for (std::size_t c = 0; c < C; ++c) writer.f64(m(r, c));
+}
+
+template <std::size_t R, std::size_t C>
+void load_matrix(common::StateReader& reader, Matrix<R, C>& m) {
+    for (std::size_t r = 0; r < R; ++r)
+        for (std::size_t c = 0; c < C; ++c) m(r, c) = reader.f64();
+}
+
+}  // namespace
 
 ScalarKalman::ScalarKalman(double process_noise, double measurement_noise)
     : q_(process_noise), r_(measurement_noise) {
@@ -135,6 +154,30 @@ PositionKalman::Position PositionKalman::predict_only(double dt) {
     if (!initialized_) return {0.0, 0.0, 0.0};
     predict(dt);
     return position();
+}
+
+void ScalarKalman::save_state(common::StateWriter& writer) const {
+    save_matrix(writer, state_);
+    save_matrix(writer, covariance_);
+    writer.boolean(initialized_);
+}
+
+void ScalarKalman::load_state(common::StateReader& reader) {
+    load_matrix(reader, state_);
+    load_matrix(reader, covariance_);
+    initialized_ = reader.boolean();
+}
+
+void PositionKalman::save_state(common::StateWriter& writer) const {
+    save_matrix(writer, state_);
+    save_matrix(writer, covariance_);
+    writer.boolean(initialized_);
+}
+
+void PositionKalman::load_state(common::StateReader& reader) {
+    load_matrix(reader, state_);
+    load_matrix(reader, covariance_);
+    initialized_ = reader.boolean();
 }
 
 }  // namespace witrack::dsp

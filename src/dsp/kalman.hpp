@@ -7,6 +7,11 @@
 
 #include "dsp/linalg.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::dsp {
 
 /// Constant-velocity Kalman filter over a scalar observable (here: the
@@ -31,6 +36,11 @@ class ScalarKalman {
     double rate() const { return state_(1, 0); }
     double value_variance() const { return covariance_(0, 0); }
     void reset();
+
+    /// Serialize the mutable state (state vector, covariance, initialized
+    /// flag); q_/r_ are construction parameters and stay with the target.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     void predict(double dt);
@@ -59,6 +69,9 @@ class PositionKalman {
     Position position() const { return {state_(0, 0), state_(1, 0), state_(2, 0)}; }
     Position velocity() const { return {state_(3, 0), state_(4, 0), state_(5, 0)}; }
     void reset();
+
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     void predict(double dt);

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <string>
+
+#include "common/serialize.hpp"
 
 namespace witrack::engine {
 
@@ -32,29 +36,22 @@ const char* to_string(SessionState state) {
     return "unknown";
 }
 
-Engine::Engine(EngineConfig config, FrameSource& source)
-    : Engine(std::move(config), nullptr, &source, nullptr, false, nullptr) {}
-
 Engine::Engine(EngineConfig config, std::unique_ptr<FrameSource> source)
-    : Engine(std::move(config), std::move(source), nullptr, nullptr, false,
-             nullptr) {}
+    : Engine(std::move(config), std::move(source), nullptr, false, nullptr) {}
 
 Engine::Engine(EngineConfig config, std::unique_ptr<FrameSource> source,
                common::WorkerPool* shared_pool, dsp::FftPlanCache* plans)
-    : Engine(std::move(config), std::move(source), nullptr, shared_pool, true,
-             plans) {}
+    : Engine(std::move(config), std::move(source), shared_pool, true, plans) {}
 
 Engine::Engine(EngineConfig config, std::unique_ptr<FrameSource> owned,
-               FrameSource* borrowed, common::WorkerPool* shared_pool,
-               bool pool_injected, dsp::FftPlanCache* plans)
+               common::WorkerPool* shared_pool, bool pool_injected,
+               dsp::FftPlanCache* plans)
     : config_(std::move(config)),
       owned_source_(std::move(owned)),
       source_([&]() -> FrameSource* {
-          FrameSource* source =
-              owned_source_ != nullptr ? owned_source_.get() : borrowed;
-          if (source == nullptr)
+          if (owned_source_ == nullptr)
               throw std::invalid_argument("Engine: null FrameSource");
-          return source;
+          return owned_source_.get();
       }()),
       pipeline_([&] {
           // The source knows the FMCW parameters its sweeps were captured
@@ -231,6 +228,84 @@ void Engine::finish() {
         stage_stats_[i].finish_s += std::chrono::duration<double>(t1 - t0).count();
     }
     state_ = SessionState::kFinished;
+}
+
+void Engine::snapshot(std::ostream& out) const {
+    common::StateWriter writer(out, kSnapshotMagic, kSnapshotVersion);
+
+    writer.begin_chunk("ENG ");
+    writer.u64(frames_);
+    writer.u64(track_updates_published_);
+    writer.boolean(finished_);
+    writer.u8(static_cast<std::uint8_t>(state_));
+    writer.u64(session_id_);
+    writer.end_chunk();
+
+    writer.begin_chunk("TRK ");
+    tracker_.save_state(writer);
+    writer.end_chunk();
+
+    writer.begin_chunk("SRC ");
+    source_->save_state(writer);
+    writer.end_chunk();
+
+    writer.begin_chunk("STG ");
+    writer.u64(stages_.size());
+    for (const auto& stage : stages_) {
+        writer.str(stage->name());
+        stage->save_state(writer);
+    }
+    writer.end_chunk();
+
+    writer.finish();
+}
+
+void Engine::restore(std::istream& in) {
+    if (frames_ != 0 || state_ != SessionState::kAdmitted)
+        throw std::logic_error("Engine: restore requires a freshly constructed Engine");
+
+    // The reader validates the entire stream (magic, version, every chunk's
+    // CRC) in its constructor: any corruption throws here, before a single
+    // field below is applied, so this Engine stays exactly as constructed.
+    common::StateReader reader(in, kSnapshotMagic, kSnapshotVersion);
+
+    reader.open_chunk("ENG ");
+    const auto frames = static_cast<std::size_t>(reader.u64());
+    const auto updates = static_cast<std::size_t>(reader.u64());
+    const bool finished = reader.boolean();
+    const auto state = reader.u8();
+    const auto session_id = reader.u64();
+    if (state > static_cast<std::uint8_t>(SessionState::kEvicted))
+        throw std::runtime_error("Engine: corrupt session state in snapshot");
+    reader.close_chunk();
+
+    reader.open_chunk("TRK ");
+    tracker_.load_state(reader);
+    reader.close_chunk();
+
+    reader.open_chunk("SRC ");
+    source_->load_state(reader);
+    reader.close_chunk();
+
+    reader.open_chunk("STG ");
+    const auto stage_count = static_cast<std::size_t>(reader.u64());
+    if (stage_count != stages_.size())
+        throw std::runtime_error("Engine: snapshot stage count mismatch");
+    for (auto& stage : stages_) {
+        const auto name = reader.str();
+        if (name != stage->name())
+            throw std::runtime_error("Engine: snapshot stage mismatch, expected '" +
+                                     std::string(stage->name()) + "', found '" +
+                                     name + "'");
+        stage->load_state(reader);
+    }
+    reader.close_chunk();
+
+    frames_ = frames;
+    track_updates_published_ = updates;
+    finished_ = finished;
+    state_ = static_cast<SessionState>(state);
+    session_id_ = session_id;
 }
 
 std::vector<Engine::StageStats> Engine::take_stage_stats() {

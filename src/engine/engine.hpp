@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <utility>
@@ -37,6 +38,20 @@
 #include "engine/stage.hpp"
 
 namespace witrack::engine {
+
+/// Session snapshot wire format (Engine::snapshot / Engine::restore):
+/// the chunked, versioned, CRC-framed layout of common/serialize.hpp with
+/// this magic. Layout (version 1):
+///
+///   header:  magic u32 "WTSS" | version u32
+///   "ENG ":  frames u64 | track_updates_published u64 | finished u8 |
+///            session_state u8 | session_id u64
+///   "TRK ":  WiTrackTracker state (demand set, histories, step state)
+///   "SRC ":  FrameSource cursor (replay frame index, or sim RNG + motion)
+///   "STG ":  stage count u64 | per stage: name str | stage state
+///   "END ":  empty terminator chunk
+inline constexpr std::uint32_t kSnapshotMagic = 0x53535457u;  // "WTSS"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
 
 /// Lifecycle of one tracking session:
 ///
@@ -64,15 +79,9 @@ const char* to_string(SessionState state);
 
 class Engine {
   public:
-    /// DEPRECATED constructor: the source is borrowed and must outlive the
-    /// Engine -- a dangling source is the classic lifetime bug of this API.
-    /// Prefer the owning overload below; this one remains only for existing
-    /// callers whose source outlives the Engine by construction.
-    Engine(EngineConfig config, FrameSource& source);
-
-    /// Preferred: the Engine owns its source, so the session is one
-    /// self-contained object with no lifetime fine print (and the shape an
-    /// EngineHost admits). Throws std::invalid_argument on a null source.
+    /// The Engine owns its source, so the session is one self-contained
+    /// object with no lifetime fine print (and the shape an EngineHost
+    /// admits). Throws std::invalid_argument on a null source.
     Engine(EngineConfig config, std::unique_ptr<FrameSource> source);
 
     /// Fleet-session constructor (what EngineHost::admit uses): worker
@@ -167,16 +176,32 @@ class Engine {
     /// Engine. Stage names persist across snapshots.
     std::vector<StageStats> take_stage_stats();
 
+    /// Serialize the full session state -- tracker, stages, source cursor,
+    /// lifecycle -- into `out` (layout documented at kSnapshotMagic).
+    /// Restoring the snapshot into an identically-built Engine resumes the
+    /// session bit-identically to never having stopped. Throws
+    /// std::runtime_error if the source cannot be resumed (live hardware)
+    /// or the sink fails.
+    void snapshot(std::ostream& out) const;
+
+    /// Load a snapshot into this Engine, which must be freshly constructed
+    /// with the same config, an equivalent source, and the same stages in
+    /// the same order as the snapshotted session. The whole stream is
+    /// validated (magic, version, per-chunk CRC) before any state is
+    /// touched, so a truncated/corrupt/wrong-version snapshot throws
+    /// std::runtime_error and leaves the Engine exactly as constructed.
+    void restore(std::istream& in);
+
   private:
     friend class EngineHost;  ///< admission identity + eviction transitions
 
-    /// Delegation target of every public constructor. Exactly one of
-    /// `owned` / `borrowed` is set; `pool_injected` distinguishes "the host
-    /// owns the parallelism decision" (shared_pool authoritative, possibly
-    /// nullptr = serial) from "resolve EngineConfig::workers ourselves".
+    /// Delegation target of every public constructor. `pool_injected`
+    /// distinguishes "the host owns the parallelism decision" (shared_pool
+    /// authoritative, possibly nullptr = serial) from "resolve
+    /// EngineConfig::workers ourselves".
     Engine(EngineConfig config, std::unique_ptr<FrameSource> owned,
-           FrameSource* borrowed, common::WorkerPool* shared_pool,
-           bool pool_injected, dsp::FftPlanCache* plans);
+           common::WorkerPool* shared_pool, bool pool_injected,
+           dsp::FftPlanCache* plans);
 
     /// Per-stage scratch for the parallel schedule: a capturing bus that
     /// records the stage's publishes for ordered replay after the join.
@@ -194,8 +219,8 @@ class Engine {
     void mark_evicted() { state_ = SessionState::kEvicted; }
 
     EngineConfig config_;
-    std::unique_ptr<FrameSource> owned_source_;  ///< owning ctor only
-    FrameSource* source_;             ///< owned_source_.get() or borrowed
+    std::unique_ptr<FrameSource> owned_source_;
+    FrameSource* source_;             ///< owned_source_.get(), never null
     core::PipelineConfig pipeline_;   ///< resolved once (fmcw applied)
     EventBus bus_;
     std::size_t workers_ = 1;

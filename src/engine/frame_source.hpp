@@ -6,10 +6,16 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 
 #include "common/constants.hpp"
 #include "common/frame_buffer.hpp"
 #include "geom/array_geometry.hpp"
+
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
 
 namespace witrack::engine {
 
@@ -42,6 +48,21 @@ class FrameSource {
 
     /// FMCW parameters the sweeps were generated with.
     virtual const FmcwParams& fmcw() const = 0;
+
+    /// Serialize the stream cursor (and any generator state) so a restored
+    /// session resumes at the exact frame a snapshot was taken. Sources
+    /// that cannot be resumed (e.g. live hardware) keep the throwing
+    /// default, which makes Engine::snapshot fail loudly instead of
+    /// producing a snapshot that silently restarts the stream.
+    virtual void save_state(common::StateWriter&) const {
+        throw std::runtime_error("FrameSource: source does not support snapshots");
+    }
+
+    /// Restore the cursor written by save_state into a freshly-constructed
+    /// source. Symmetric with save_state; same throwing default.
+    virtual void load_state(common::StateReader&) {
+        throw std::runtime_error("FrameSource: source does not support snapshots");
+    }
 };
 
 }  // namespace witrack::engine

@@ -54,6 +54,42 @@ SessionId EngineHost::admit(std::string name, EngineConfig config,
     return id;
 }
 
+void EngineHost::checkpoint_session(SessionId id, std::ostream& out) const {
+    const Session* session = find(id);
+    if (session == nullptr)
+        throw std::out_of_range("EngineHost: unknown session " + std::to_string(id));
+    session->engine->snapshot(out);
+}
+
+SessionId EngineHost::restore_session(
+    std::string name, EngineConfig config, std::unique_ptr<FrameSource> source,
+    std::istream& snapshot, const std::function<void(Engine&)>& wire_stages) {
+    const bool full = active_sessions() >= config_.max_sessions;
+    if (full && !config_.queue_when_full)
+        throw std::runtime_error("EngineHost: admission rejected, " +
+                                 std::to_string(config_.max_sessions) +
+                                 " sessions already active");
+
+    // Build and restore the Engine BEFORE registering anything: a corrupt
+    // snapshot throws out of restore() and the host -- including every live
+    // session -- is left exactly as it was.
+    auto engine = std::make_unique<Engine>(std::move(config), std::move(source),
+                                           pool_.get(), plans_);
+    if (wire_stages) wire_stages(*engine);
+    engine->restore(snapshot);
+
+    auto session = std::make_unique<Session>();
+    session->id = next_id_++;
+    session->name = std::move(name);
+    session->queued = full;
+    session->engine = std::move(engine);
+    session->engine->set_session_id(session->id);
+    const SessionId id = session->id;
+    sessions_.push_back(std::move(session));
+    ++admitted_total_;
+    return id;
+}
+
 EngineHost::Session* EngineHost::find(SessionId id) {
     for (auto& session : sessions_)
         if (session->id == id) return session.get();

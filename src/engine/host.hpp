@@ -24,6 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,6 +127,23 @@ class EngineHost {
     /// throws std::runtime_error. Returns the session's id.
     SessionId admit(std::string name, EngineConfig config,
                     std::unique_ptr<FrameSource> source);
+
+    /// Serialize one session's full state (tracker, stages, source cursor;
+    /// Engine::snapshot wire format) into `out` so it can drain to disk and
+    /// resume here or on another host. Unknown id -> std::out_of_range.
+    void checkpoint_session(SessionId id, std::ostream& out) const;
+
+    /// Admit a session reconstructed from a snapshot: the Engine is built
+    /// exactly as admit() would build it, `wire_stages` (may be empty)
+    /// attaches the same stages the checkpointed session had -- same types,
+    /// same order -- and the snapshot is applied before scheduling. A
+    /// truncated/corrupt/unknown-version snapshot throws std::runtime_error
+    /// and nothing is registered: live sessions are untouched. Returns the
+    /// restored session's (new) id.
+    SessionId restore_session(std::string name, EngineConfig config,
+                              std::unique_ptr<FrameSource> source,
+                              std::istream& snapshot,
+                              const std::function<void(Engine&)>& wire_stages = {});
 
     /// The session's Engine (attach stages, subscribe to its bus, read its
     /// tracker). nullptr for an unknown id. Valid until the host dies --

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/serialize.hpp"
+
 namespace witrack::engine {
 
 // ------------------------------------------------------- FallMonitorStage
@@ -47,6 +49,16 @@ void PointingStage::finish(EventBus& bus) {
         bus.publish(PointingEvent{*pointing});
 }
 
+void PointingStage::save_state(common::StateWriter& writer) const {
+    writer.u64(frames_.size());
+    for (const auto& frame : frames_) core::save_state(writer, frame);
+}
+
+void PointingStage::load_state(common::StateReader& reader) {
+    frames_.resize(reader.count(sizeof(double)));
+    for (auto& frame : frames_) core::load_state(reader, frame);
+}
+
 // ---------------------------------------------------- ApplianceController
 
 void ApplianceController::attach(const StageContext& context, EventBus& bus) {
@@ -54,6 +66,18 @@ void ApplianceController::attach(const StageContext& context, EventBus& bus) {
     bus.subscribe<PointingEvent>([this](const PointingEvent& event) {
         last_actuated_ = registry_->actuate(event.pointing, *driver_);
     });
+}
+
+void ApplianceController::save_state(common::StateWriter& writer) const {
+    writer.boolean(last_actuated_.has_value());
+    writer.str(last_actuated_.value_or(""));
+}
+
+void ApplianceController::load_state(common::StateReader& reader) {
+    const bool actuated = reader.boolean();
+    auto name = reader.str();
+    last_actuated_ =
+        actuated ? std::optional<std::string>(std::move(name)) : std::nullopt;
 }
 
 // ------------------------------------------------------- MultiPersonStage
@@ -72,6 +96,18 @@ void MultiPersonStage::on_frame(const Frame& frame,
                                 EventBus& bus) {
     auto people = tracker_->process(result.tof, frame.time_s);
     bus.publish(PersonsEvent{frame.time_s, std::move(people), frame.truth});
+}
+
+void MultiPersonStage::save_state(common::StateWriter& writer) const {
+    if (!tracker_)
+        throw std::logic_error("MultiPersonStage: save_state before attach");
+    tracker_->save_state(writer);
+}
+
+void MultiPersonStage::load_state(common::StateReader& reader) {
+    if (!tracker_)
+        throw std::logic_error("MultiPersonStage: load_state before attach");
+    tracker_->load_state(reader);
 }
 
 }  // namespace witrack::engine

@@ -35,6 +35,14 @@ class FallMonitorStage : public AppStage {
 
     const apps::FallMonitor& monitor() const { return monitor_; }
 
+    /// The monitor's detector window and alert ring are the stage state.
+    void save_state(common::StateWriter& writer) const override {
+        monitor_.save_state(writer);
+    }
+    void load_state(common::StateReader& reader) override {
+        monitor_.load_state(reader);
+    }
+
   private:
     apps::FallMonitor monitor_;
 };
@@ -62,6 +70,11 @@ class PointingStage : public AppStage {
     void on_frame(const Frame& frame, const core::WiTrackTracker::FrameResult& result,
                   EventBus& bus) override;
     void finish(EventBus& bus) override;
+
+    /// The retained TOF window is the stage state (the estimator is rebuilt
+    /// by attach()).
+    void save_state(common::StateWriter& writer) const override;
+    void load_state(common::StateReader& reader) override;
 
   private:
     core::PointingConfig config_;
@@ -91,6 +104,9 @@ class ApplianceController : public AppStage {
     /// Appliance toggled by the most recent pointing gesture, if any matched.
     const std::optional<std::string>& last_actuated() const { return last_actuated_; }
 
+    void save_state(common::StateWriter& writer) const override;
+    void load_state(common::StateReader& reader) override;
+
   private:
     apps::ApplianceRegistry* registry_;
     apps::InsteonDriver* driver_;
@@ -113,6 +129,11 @@ class MultiPersonStage : public AppStage {
     void attach(const StageContext& context, EventBus& bus) override;
     void on_frame(const Frame& frame, const core::WiTrackTracker::FrameResult& result,
                   EventBus& bus) override;
+
+    /// The per-person Kalman tracks are the stage state (attach() must
+    /// have run, which Engine::add_stage guarantees).
+    void save_state(common::StateWriter& writer) const override;
+    void load_state(common::StateReader& reader) override;
 
   private:
     std::size_t max_people_;

@@ -3,37 +3,26 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace witrack::engine {
 
+// The replay wire format is built on the shared raw-stream helpers in
+// common/serialize.hpp (one implementation with the snapshot format), with
+// the "ReplaySource:" error prefix bound locally.
 namespace {
 
-template <typename T>
-void write_raw(std::ofstream& out, const T& value) {
-    out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
+using common::read_raw;
+using common::write_raw;
+using common::write_vec3;
 
 template <typename T>
-bool read_raw(std::ifstream& in, T& value) {
-    in.read(reinterpret_cast<char*>(&value), sizeof value);
-    return static_cast<bool>(in);
+void read_or_throw(std::istream& in, T& value, const char* what) {
+    common::read_or_throw(in, value, "ReplaySource", what);
 }
 
-template <typename T>
-void read_or_throw(std::ifstream& in, T& value, const char* what) {
-    if (!read_raw(in, value))
-        throw std::runtime_error(std::string("ReplaySource: truncated ") + what);
-}
-
-void write_vec3(std::ofstream& out, const geom::Vec3& v) {
-    write_raw(out, v.x);
-    write_raw(out, v.y);
-    write_raw(out, v.z);
-}
-
-void read_vec3(std::ifstream& in, geom::Vec3& v, const char* what) {
-    read_or_throw(in, v.x, what);
-    read_or_throw(in, v.y, what);
-    read_or_throw(in, v.z, what);
+void read_vec3(std::istream& in, geom::Vec3& v, const char* what) {
+    common::read_vec3(in, v, "ReplaySource", what);
 }
 
 }  // namespace
@@ -181,6 +170,25 @@ bool ReplaySource::next(Frame& frame) {
 
     ++frames_read_;
     return true;
+}
+
+void ReplaySource::save_state(common::StateWriter& writer) const {
+    writer.u64(frames_read_);
+}
+
+void ReplaySource::load_state(common::StateReader& reader) {
+    const auto target = static_cast<std::size_t>(reader.u64());
+    if (frames_read_ != 0)
+        throw std::runtime_error(
+            "ReplaySource: load_state requires a freshly-opened recording");
+    // Skip forward through the already-consumed prefix; the scratch frame's
+    // buffer is reused across the skipped reads.
+    Frame scratch;
+    while (frames_read_ < target) {
+        if (!next(scratch))
+            throw std::runtime_error(
+                "ReplaySource: snapshot cursor beyond end of recording");
+    }
 }
 
 }  // namespace witrack::engine

@@ -67,6 +67,14 @@ class ReplaySource : public FrameSource {
 
     std::size_t frames_read() const { return frames_read_; }
 
+    /// Snapshot cursor: the number of frames already consumed.
+    void save_state(common::StateWriter& writer) const override;
+
+    /// Re-position a freshly-opened replay at the snapshot cursor by
+    /// skipping forward; throws if the source has already advanced or the
+    /// recording is shorter than the cursor.
+    void load_state(common::StateReader& reader) override;
+
   private:
     std::ifstream in_;
     FmcwParams fmcw_;

@@ -32,6 +32,15 @@ class SimSource : public FrameSource {
 
     const sim::Scenario& scenario() const { return *scenario_; }
 
+    /// Snapshot cursor: delegates to the scenario (frame index + RNG +
+    /// motion state), so a restored sim session resumes bit-identically.
+    void save_state(common::StateWriter& writer) const override {
+        scenario_->save_state(writer);
+    }
+    void load_state(common::StateReader& reader) override {
+        scenario_->load_state(reader);
+    }
+
   private:
     std::unique_ptr<sim::Scenario> scenario_;
 };

@@ -71,6 +71,13 @@ class AppStage {
     /// Called once when the source is exhausted (Engine::run) so
     /// episode-scoped stages (e.g. pointing) can publish their verdict.
     virtual void finish(EventBus& bus) { (void)bus; }
+
+    /// Serialize per-stage mutable state into an Engine snapshot. Stateless
+    /// stages keep the empty defaults; stages that accumulate history (the
+    /// fall-monitor alert ring, the pointing TOF window) override both
+    /// symmetrically so a restored session resumes bit-identically.
+    virtual void save_state(common::StateWriter&) const {}
+    virtual void load_state(common::StateReader&) {}
 };
 
 }  // namespace witrack::engine

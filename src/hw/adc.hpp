@@ -11,6 +11,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace witrack::hw {
 
 class Adc {
@@ -52,6 +54,11 @@ class Adc {
         if (bits_ == 0 || full_scale_ <= 0.0) return 0.0;
         return full_scale_ / static_cast<double>(1 << (bits_ - 1));
     }
+
+    /// Serialize the one-time calibration (a restored converter must not
+    /// re-calibrate from its first post-restore sweep).
+    void save_state(common::StateWriter& writer) const { writer.f64(full_scale_); }
+    void load_state(common::StateReader& reader) { full_scale_ = reader.f64(); }
 
   private:
     int bits_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace witrack::hw {
 
 using witrack::rf::BodyScatterer;
@@ -59,6 +61,22 @@ void FmcwFrontend::capture_sweep_into(witrack::FrameBuffer& frame,
         if (!adc_[rx].calibrated()) adc_[rx].calibrate(sweep);
         adc_[rx].process(sweep);
     }
+}
+
+void FmcwFrontend::save_state(common::StateWriter& writer) const {
+    common::save_state(writer, rng_.engine());
+    writer.u64(highpass_.size());
+    for (const auto& highpass : highpass_) highpass.save_state(writer);
+    for (const auto& adc : adc_) adc.save_state(writer);
+}
+
+void FmcwFrontend::load_state(common::StateReader& reader) {
+    common::load_state(reader, rng_.engine());
+    const auto num_rx = static_cast<std::size_t>(reader.u64());
+    if (num_rx != highpass_.size() || adc_.size() != highpass_.size())
+        throw std::runtime_error("FmcwFrontend: snapshot antenna count mismatch");
+    for (auto& highpass : highpass_) highpass.load_state(reader);
+    for (auto& adc : adc_) adc.load_state(reader);
 }
 
 }  // namespace witrack::hw

@@ -25,6 +25,11 @@
 #include "rf/channel.hpp"
 #include "rf/noise.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::hw {
 
 struct FrontendConfig {
@@ -55,6 +60,13 @@ class FmcwFrontend {
 
     /// Rebuild the cached static waveforms (call after mutating the scene).
     void rebuild_static_cache();
+
+    /// Serialize the capture-path state that advances per sweep: the noise
+    /// generator, each receiver's high-pass delay line, and each ADC's
+    /// one-time calibration. The static cache is deterministic from the
+    /// scene and is rebuilt by construction, not serialized.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     FrontendConfig config_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/serialize.hpp"
+
 namespace witrack::sim {
 
 using geom::Vec3;
@@ -143,6 +145,37 @@ std::vector<BodyScatterer> HumanModel::update(const Pose& pose, double dt,
                        hand_.rcs_now * 0.8, hand_.phase_now + 0.7});
     }
     return out;
+}
+
+void HumanModel::save_state(common::StateWriter& writer) const {
+    common::save_state(writer, rng_.engine());
+    writer.vec3(center_);
+    writer.f64(gait_phase_);
+    writer.f64(wander_x_);
+    writer.f64(wander_y_);
+    writer.f64(wander_z_);
+    // Parts serialize in the same fixed order refresh_fluctuations draws in.
+    for (const Part* part : {&torso_, &head_, &arm_left_, &arm_right_, &leg_left_,
+                             &leg_right_, &hand_}) {
+        writer.f64(part->rcs_now);
+        writer.f64(part->phase_now);
+    }
+    writer.boolean(fluctuations_initialized_);
+}
+
+void HumanModel::load_state(common::StateReader& reader) {
+    common::load_state(reader, rng_.engine());
+    reader.vec3(center_);
+    gait_phase_ = reader.f64();
+    wander_x_ = reader.f64();
+    wander_y_ = reader.f64();
+    wander_z_ = reader.f64();
+    for (Part* part : {&torso_, &head_, &arm_left_, &arm_right_, &leg_left_,
+                       &leg_right_, &hand_}) {
+        part->rcs_now = reader.f64();
+        part->phase_now = reader.f64();
+    }
+    fluctuations_initialized_ = reader.boolean();
 }
 
 }  // namespace witrack::sim

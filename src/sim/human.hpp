@@ -19,6 +19,11 @@
 #include "rf/rcs.hpp"
 #include "rf/scene.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::sim {
 
 struct HumanParams {
@@ -53,6 +58,12 @@ class HumanModel {
 
     /// Ground-truth body centre of the last pose.
     const geom::Vec3& body_center() const { return center_; }
+
+    /// Serialize the gait/scintillation state: RNG, gait phase, wander
+    /// offsets, and each part's current RCS draw. The RCS models themselves
+    /// are construction-time parameters.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
   private:
     struct Part {

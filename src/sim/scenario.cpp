@@ -1,7 +1,9 @@
 #include "sim/scenario.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
+#include "common/serialize.hpp"
 #include "hw/pll.hpp"
 #include "hw/vco.hpp"
 
@@ -96,6 +98,24 @@ bool Scenario::next_into(double& time_s, FrameBuffer& sweeps_out, Pose& pose,
 
     ++frame_index_;
     return true;
+}
+
+void Scenario::save_state(common::StateWriter& writer) const {
+    writer.u64(frame_index_);
+    frontend_->save_state(writer);
+    human_->save_state(writer);
+    writer.boolean(human2_ != nullptr);
+    if (human2_) human2_->save_state(writer);
+}
+
+void Scenario::load_state(common::StateReader& reader) {
+    frame_index_ = static_cast<std::size_t>(reader.u64());
+    frontend_->load_state(reader);
+    human_->load_state(reader);
+    const bool has_second = reader.boolean();
+    if (has_second != (human2_ != nullptr))
+        throw std::runtime_error("Scenario: snapshot second-person mismatch");
+    if (human2_) human2_->load_state(reader);
 }
 
 }  // namespace witrack::sim

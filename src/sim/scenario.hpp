@@ -17,6 +17,11 @@
 #include "sim/human.hpp"
 #include "sim/motion.hpp"
 
+namespace witrack::common {
+class StateWriter;
+class StateReader;
+}  // namespace witrack::common
+
 namespace witrack::sim {
 
 struct ScenarioConfig {
@@ -61,6 +66,15 @@ class Scenario {
     /// streams directly into its own Frame without an intermediate copy).
     bool next_into(double& time_s, FrameBuffer& sweeps, Pose& pose,
                    std::optional<Pose>& pose2);
+
+    /// Serialize the simulation cursor: frame index, front-end capture
+    /// state, and each human's gait/scintillation state. Everything else
+    /// (scene, channel, static cache) is deterministic from the config and
+    /// is rebuilt by construction; motion scripts are pure functions of
+    /// time. Restoring into an identically-constructed Scenario resumes
+    /// the stream bit-identically.
+    void save_state(common::StateWriter& writer) const;
+    void load_state(common::StateReader& reader);
 
     const geom::ArrayGeometry& array() const { return array_; }
     const Environment& environment() const { return environment_; }

@@ -39,9 +39,9 @@ TEST(Engine, QuickstartScenarioViaEventsOnly) {
     config.with_through_wall(true).with_fast_capture(true).with_seed(21);
 
     const auto env = sim::make_through_wall_lab();
-    engine::SimSource source(config, std::make_unique<sim::RandomWaypointWalk>(
-                                         env.bounds, 20.0, Rng(101).fork(1)));
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::RandomWaypointWalk>(
+                                               env.bounds, 20.0, Rng(101).fork(1))));
 
     std::vector<double> ex, ey, ez;
     eng.bus().subscribe<engine::TrackUpdateEvent>(
@@ -81,8 +81,8 @@ TEST(Engine, MatchesHandWiredTrackerBitForBit) {
 
     // Engine run.
     auto config = make_config();
-    engine::SimSource source(config, make_script());
-    engine::Engine eng(config, source);
+    engine::Engine eng(config,
+                       std::make_unique<engine::SimSource>(config, make_script()));
     eng.run();
 
     // Hand-wired run over an identical scenario.
@@ -109,10 +109,10 @@ TEST(Engine, FallEventFiresOnScriptedFallOnly) {
         const auto env = sim::make_through_wall_lab();
         engine::EngineConfig config;
         config.with_fast_capture(true).with_seed(71);
-        engine::SimSource source(
-            config, std::make_unique<sim::ActivityScript>(kind, env.bounds,
-                                                          Rng(script_seed), 24.0));
-        engine::Engine eng(config, source);
+        engine::Engine eng(
+            config, std::make_unique<engine::SimSource>(
+                        config, std::make_unique<sim::ActivityScript>(
+                                    kind, env.bounds, Rng(script_seed), 24.0)));
         eng.emplace_stage<engine::FallMonitorStage>();
         std::vector<engine::FallEvent> events;
         eng.bus().subscribe<engine::FallEvent>(
@@ -139,10 +139,11 @@ TEST(Engine, StagesFinishOnlyOnce) {
     // re-publish episode events.
     engine::EngineConfig config;
     config.with_fast_capture(true).with_seed(81);
-    engine::SimSource source(
-        config, std::make_unique<sim::PointingScript>(
-                    Vec3{0.5, 4.5, 0}, Vec3{0.5, 0.7, 0.2}.normalized(), Rng(5)));
-    engine::Engine eng(config, source);
+    engine::Engine eng(
+        config,
+        std::make_unique<engine::SimSource>(
+            config, std::make_unique<sim::PointingScript>(
+                        Vec3{0.5, 4.5, 0}, Vec3{0.5, 0.7, 0.2}.normalized(), Rng(5))));
     eng.emplace_stage<engine::PointingStage>();
 
     std::size_t events = 0;
@@ -160,9 +161,9 @@ TEST(Engine, PointingEventRecoversDirection) {
 
     const Vec3 stand{0.5, 4.5, 0};
     const Vec3 truth_dir = Vec3{0.5, 0.7, 0.2}.normalized();
-    engine::SimSource source(
-        config, std::make_unique<sim::PointingScript>(stand, truth_dir, Rng(5)));
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::PointingScript>(
+                                               stand, truth_dir, Rng(5))));
     eng.emplace_stage<engine::PointingStage>();
 
     std::vector<engine::PointingEvent> events;
@@ -185,9 +186,9 @@ TEST(Engine, PointingEventDrivesApplianceController) {
     const Vec3 stand{0.0, 5.0, 0};
     const Vec3 lamp_pos{2.0, 7.5, 1.2};
     const Vec3 dir = (lamp_pos - Vec3{stand.x, stand.y, 1.3}).normalized();
-    engine::SimSource source(
-        config, std::make_unique<sim::PointingScript>(stand, dir, Rng(7)));
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::PointingScript>(
+                                               stand, dir, Rng(7))));
     eng.emplace_stage<engine::PointingStage>();
 
     apps::ApplianceRegistry registry(deg_to_rad(35.0));
@@ -215,13 +216,14 @@ TEST(Engine, PersonsEventsCarryTwoPeopleWithTruth) {
         .with_seed(93)
         .with_contour_peaks(3);
 
-    engine::SimSource source(
+    engine::Engine eng(
         config,
-        std::make_unique<sim::LineWalkScript>(Vec3{-2.0, 4, 0}, Vec3{-0.5, 6.5, 0},
-                                              6.0, 1.0),
-        std::make_unique<sim::LineWalkScript>(Vec3{2.0, 6.5, 0}, Vec3{0.8, 4.0, 0},
-                                              6.0, 1.0));
-    engine::Engine eng(config, source);
+        std::make_unique<engine::SimSource>(
+            config,
+            std::make_unique<sim::LineWalkScript>(Vec3{-2.0, 4, 0},
+                                                  Vec3{-0.5, 6.5, 0}, 6.0, 1.0),
+            std::make_unique<sim::LineWalkScript>(Vec3{2.0, 6.5, 0},
+                                                  Vec3{0.8, 4.0, 0}, 6.0, 1.0)));
     eng.emplace_stage<engine::MultiPersonStage>(2);
 
     std::size_t events = 0, with_two = 0;
@@ -240,9 +242,10 @@ TEST(Engine, PersonsEventsCarryTwoPeopleWithTruth) {
 TEST(Engine, MultiPersonStageRequiresMultiPeakConfig) {
     engine::EngineConfig config;
     config.with_fast_capture(true);  // contour_peaks left at 1
-    engine::SimSource source(config, std::make_unique<sim::StandStillScript>(
-                                         Vec3{0, 5, 0}, 1.0));
-    engine::Engine eng(config, source);
+    engine::Engine eng(config,
+                       std::make_unique<engine::SimSource>(
+                           config, std::make_unique<sim::StandStillScript>(
+                                       Vec3{0, 5, 0}, 1.0)));
     EXPECT_THROW(eng.emplace_stage<engine::MultiPersonStage>(2),
                  std::invalid_argument);
 }
@@ -329,16 +332,17 @@ TEST(Engine, PipelineAdoptsSourceFmcwParameters) {
         while (live.next(frame)) recorder.write(frame);
     }
 
-    engine::ReplaySource replay(path);
+    auto replay_source = std::make_unique<engine::ReplaySource>(path);
+    const auto* replay = replay_source.get();  // observe the cursor post-run
     engine::EngineConfig default_config;  // deliberately NOT the custom fmcw
-    engine::Engine eng(default_config, replay);
+    engine::Engine eng(default_config, std::move(replay_source));
     EXPECT_EQ(eng.pipeline_config().fmcw.bandwidth_hz, custom.bandwidth_hz);
     // The stored config is kept coherent too, so stages reading
     // StageContext::config.fmcw agree with the pipeline.
     EXPECT_EQ(eng.config().fmcw.bandwidth_hz, custom.bandwidth_hz);
     const std::size_t frames = eng.run();
     EXPECT_GT(frames, 0u);
-    EXPECT_EQ(frames, replay.frames_read());
+    EXPECT_EQ(frames, replay->frames_read());
     std::remove(path.c_str());
 }
 
@@ -379,9 +383,10 @@ TEST(Engine, ReplayRejectsForeignFiles) {
 TEST(Engine, StageLatencyAccounting) {
     engine::EngineConfig config;
     config.with_fast_capture(true).with_seed(7);
-    engine::SimSource source(config, std::make_unique<sim::LineWalkScript>(
-                                         Vec3{-1, 5, 0}, Vec3{1, 5, 0}, 1.0, 1.0));
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::LineWalkScript>(
+                                               Vec3{-1, 5, 0}, Vec3{1, 5, 0}, 1.0,
+                                               1.0)));
     eng.emplace_stage<engine::FallMonitorStage>();
     eng.run();
 
@@ -400,9 +405,10 @@ TEST(Engine, StageLatencyAccounting) {
 TEST(Engine, TrackHistoryCapBoundsMemory) {
     engine::EngineConfig config;
     config.with_fast_capture(true).with_seed(11).with_track_history(50);
-    engine::SimSource source(config, std::make_unique<sim::LineWalkScript>(
-                                         Vec3{-1, 5, 0}, Vec3{1, 5, 0}, 4.0, 1.0));
-    engine::Engine eng(config, source);
+    engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                   config, std::make_unique<sim::LineWalkScript>(
+                                               Vec3{-1, 5, 0}, Vec3{1, 5, 0}, 4.0,
+                                               1.0)));
     eng.run();
 
     ASSERT_GT(eng.frames_processed(), 200u);

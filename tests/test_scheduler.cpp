@@ -249,8 +249,8 @@ class TofTapStage : public engine::AppStage {
 TEST(Scheduler, EngineUnionsStageDemands) {
     // TOF-only stage set: the engine schedules just the TOF step...
     auto config = walk_config(304);
-    engine::SimSource source(config, walk_script());
-    engine::Engine eng(config, source);
+    engine::Engine eng(config,
+                       std::make_unique<engine::SimSource>(config, walk_script()));
     auto& tap = eng.emplace_stage<TofTapStage>();
     EXPECT_EQ(eng.demanded_outputs(), PipelineOutputs::kTof);
     eng.run();
@@ -260,8 +260,8 @@ TEST(Scheduler, EngineUnionsStageDemands) {
 
     // ...and its TOF stream matches the full serial pipeline bit for bit.
     auto full_config = walk_config(304);
-    engine::SimSource full_source(full_config, walk_script());
-    engine::Engine full(full_config, full_source);
+    engine::Engine full(full_config, std::make_unique<engine::SimSource>(
+                                         full_config, walk_script()));
     auto& full_tap = full.emplace_stage<TofTapStage>();
     full.bus().subscribe<engine::TrackUpdateEvent>(
         [](const engine::TrackUpdateEvent&) {});
@@ -276,10 +276,10 @@ TEST(Scheduler, EngineUnionsStageDemands) {
 
 TEST(Scheduler, EngineDemandPolicy) {
     auto config = walk_config(305);
-    engine::SimSource source(config, walk_script());
     {
         // Headless: nobody attached, full pipeline for tracker() readers.
-        engine::Engine eng(config, source);
+        engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                       config, walk_script()));
         EXPECT_EQ(eng.demanded_outputs(), PipelineOutputs::kAll);
         // A purely event-driven stage set demands nothing.
         apps::ApplianceRegistry registry(0.5);
@@ -296,8 +296,8 @@ TEST(Scheduler, EngineDemandPolicy) {
         // Config override wins over everything.
         auto forced = walk_config(305);
         forced.with_outputs(PipelineOutputs::kTof);
-        engine::SimSource forced_source(forced, walk_script());
-        engine::Engine eng(forced, forced_source);
+        engine::Engine eng(forced, std::make_unique<engine::SimSource>(
+                                       forced, walk_script()));
         eng.bus().subscribe<engine::TrackUpdateEvent>(
             [](const engine::TrackUpdateEvent&) {});
         EXPECT_EQ(eng.demanded_outputs(), PipelineOutputs::kTof);
@@ -309,8 +309,8 @@ TEST(Scheduler, EngineDemandPolicy) {
 TEST(Scheduler, EngineParallelMatchesSerialOnSimSource) {
     auto run = [](std::size_t workers) {
         auto config = walk_config(306).with_workers(workers);
-        engine::SimSource source(config, walk_script());
-        engine::Engine eng(config, source);
+        engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                       config, walk_script()));
         std::vector<core::TrackPoint> smoothed;
         eng.bus().subscribe<engine::TrackUpdateEvent>(
             [&](const engine::TrackUpdateEvent& event) {
@@ -340,10 +340,9 @@ TEST(Scheduler, EngineParallelParityOnReplaySource) {
     }
 
     auto run_replay = [&](std::size_t workers, PipelineOutputs outputs) {
-        engine::ReplaySource replay(path);
         auto config = walk_config(307).with_workers(workers);
         config.with_outputs(outputs);
-        engine::Engine eng(config, replay);
+        engine::Engine eng(config, std::make_unique<engine::ReplaySource>(path));
         eng.run();
         return std::make_pair(eng.tracker().track(), eng.tracker().raw_track());
     };
@@ -394,8 +393,8 @@ class TaggedStage : public engine::AppStage {
 TEST(Scheduler, ParallelStageEventsDeliverInAttachmentOrder) {
     auto run = [](std::size_t workers) {
         auto config = walk_config(308).with_workers(workers);
-        engine::SimSource source(config, walk_script());
-        engine::Engine eng(config, source);
+        engine::Engine eng(config, std::make_unique<engine::SimSource>(
+                                       config, walk_script()));
         eng.emplace_stage<TaggedStage>(0.125);
         eng.emplace_stage<TaggedStage>(0.250);
         eng.emplace_stage<TaggedStage>(0.375);
@@ -422,8 +421,8 @@ TEST(Scheduler, ParallelStageEventsDeliverInAttachmentOrder) {
 
 TEST(Scheduler, TrackUpdateEventSkippedWithoutSubscribers) {
     auto config = walk_config(309);
-    engine::SimSource source(config, walk_script());
-    engine::Engine eng(config, source);
+    engine::Engine eng(config,
+                       std::make_unique<engine::SimSource>(config, walk_script()));
     for (int i = 0; i < 20; ++i) ASSERT_TRUE(eng.step());
     EXPECT_EQ(eng.track_updates_published(), 0u);  // never even built
 
@@ -446,8 +445,8 @@ TEST(Scheduler, TrackUpdateEventSkippedWithoutSubscribers) {
 
 TEST(Scheduler, TakeStageStatsSnapshotsAndResets) {
     auto config = walk_config(310);
-    engine::SimSource source(config, walk_script());
-    engine::Engine eng(config, source);
+    engine::Engine eng(config,
+                       std::make_unique<engine::SimSource>(config, walk_script()));
     eng.emplace_stage<engine::FallMonitorStage>();
 
     for (int i = 0; i < 25; ++i) ASSERT_TRUE(eng.step());
