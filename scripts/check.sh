@@ -37,6 +37,9 @@ for example in build-release/example_*; do
   "${example}" > /dev/null
 done
 
+echo "=== witrackd smoke (Release) ==="
+scripts/smoke_witrackd.sh build-release
+
 echo "=== header self-sufficiency ==="
 fails=0
 while IFS= read -r header; do

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke the witrackd fleet daemon end to end over its own control plane:
+# boot on an ephemeral port, PING it, admit a sim tenant, scrape a stats
+# line, DRAIN, and require a clean exit 0 once the fleet is empty. Run by
+# scripts/check.sh (Release) and the Release CI lane.
+#
+# Usage: scripts/smoke_witrackd.sh [build-dir]   (default: build-release)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-release}"
+daemon="${build_dir}/witrackd"
+[ -x "${daemon}" ] || { echo "smoke_witrackd: ${daemon} not built"; exit 1; }
+
+log="$(mktemp)"
+"${daemon}" --stats-every 1 --run-seconds 120 > "${log}" 2>&1 &
+daemon_pid=$!
+cleanup() {
+  kill "${daemon_pid}" 2>/dev/null || true
+  rm -f "${log}"
+}
+trap cleanup EXIT
+
+# The first stdout line carries the ephemeral control port.
+port=""
+for _ in $(seq 100); do
+  port="$(sed -n 's/.*control plane on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${log}" | head -n 1)"
+  [ -n "${port}" ] && break
+  sleep 0.1
+done
+[ -n "${port}" ] || { echo "smoke_witrackd: no control port in ${log}"; cat "${log}"; exit 1; }
+
+run() {
+  local expect="$1"; shift
+  local out
+  out="$("${daemon}" --port "${port}" --cmd "$*")"
+  echo "  $* -> ${out:0:100}"
+  case "${out}" in
+    ${expect}*) ;;
+    *) echo "smoke_witrackd: '$*' answered '${out}', wanted '${expect}...'"; exit 1 ;;
+  esac
+}
+
+run "OK pong" PING
+run "OK admitted" ADMIT sim smoke-home 42 1
+run "OK {" STATS
+"${daemon}" --port "${port}" --cmd STATS | grep -q '"sessions_admitted":1' \
+  || { echo "smoke_witrackd: stats scrape missing the admitted session"; exit 1; }
+run "OK draining" DRAIN
+
+# Drained fleet => clean exit 0, well before the --run-seconds backstop.
+wait "${daemon_pid}"
+echo "witrackd smoke: OK"

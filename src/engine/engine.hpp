@@ -155,6 +155,11 @@ class Engine {
     /// nobody subscribes (the Engine skips constructing the event entirely).
     std::size_t track_updates_published() const { return track_updates_published_; }
 
+    /// Network ingestion counters of this session's source (std::nullopt
+    /// for in-process sources; filled by net::NetSource). EngineHost rolls
+    /// these into FleetStats per session.
+    std::optional<NetIngestStats> net_stats() const { return source_->net_stats(); }
+
     /// Wall-clock accounting per application stage. total_s / mean_s /
     /// max_s cover the per-frame on_frame() calls; the one-shot finish()
     /// work (episode-scoped analysis) is reported separately in finish_s.

@@ -5,6 +5,7 @@
 // which world they came from.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 
@@ -36,6 +37,48 @@ struct Frame {
     std::optional<GroundTruth> truth;   ///< evaluation reference, if known
 };
 
+/// Ingestion counters of a network-fed source (net::NetSource), cumulative
+/// over the source's lifetime. Defined here -- not in src/net/ -- because
+/// this is the seam where EngineHost reads them into FleetStats without the
+/// engine layer depending on the network layer. Datagram-level counters
+/// (crc_errors, truncated, bad_magic, version_skew) cover datagrams that
+/// never decoded; frame-level counters (frame_gaps, reorders, duplicates,
+/// late_fragments) come from per-sender sequence tracking.
+struct NetIngestStats {
+    std::uint64_t datagrams = 0;         ///< datagrams accepted (decoded OK)
+    std::uint64_t bytes = 0;             ///< payload + header bytes accepted
+    std::uint64_t frames_delivered = 0;  ///< frames handed to the Engine
+    std::uint64_t frame_gaps = 0;        ///< frame seqs never delivered
+    std::uint64_t reorders = 0;          ///< datagrams that arrived out of order
+    std::uint64_t duplicates = 0;        ///< fragments already held
+    std::uint64_t late_fragments = 0;    ///< fragments of already-closed frames
+    std::uint64_t crc_errors = 0;        ///< datagrams dropped: CRC mismatch
+    std::uint64_t truncated = 0;         ///< datagrams dropped: short/length skew
+    std::uint64_t bad_magic = 0;         ///< datagrams dropped: not our protocol
+    std::uint64_t version_skew = 0;      ///< datagrams dropped: unknown version
+    std::uint64_t malformed = 0;         ///< datagrams dropped: bad header fields
+    std::uint64_t foreign_token = 0;     ///< datagrams dropped: wrong session token
+    std::uint64_t idle_timeouts = 0;     ///< next() gave up waiting for frames
+
+    NetIngestStats& operator+=(const NetIngestStats& other) {
+        datagrams += other.datagrams;
+        bytes += other.bytes;
+        frames_delivered += other.frames_delivered;
+        frame_gaps += other.frame_gaps;
+        reorders += other.reorders;
+        duplicates += other.duplicates;
+        late_fragments += other.late_fragments;
+        crc_errors += other.crc_errors;
+        truncated += other.truncated;
+        bad_magic += other.bad_magic;
+        version_skew += other.version_skew;
+        malformed += other.malformed;
+        foreign_token += other.foreign_token;
+        idle_timeouts += other.idle_timeouts;
+        return *this;
+    }
+};
+
 class FrameSource {
   public:
     virtual ~FrameSource() = default;
@@ -63,6 +106,10 @@ class FrameSource {
     virtual void load_state(common::StateReader&) {
         throw std::runtime_error("FrameSource: source does not support snapshots");
     }
+
+    /// Network ingestion counters, for sources fed over the wire
+    /// (net::NetSource overrides this). In-process sources have none.
+    virtual std::optional<NetIngestStats> net_stats() const { return std::nullopt; }
 };
 
 }  // namespace witrack::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -16,7 +17,130 @@ double steady_seconds() {
         .count();
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) --
+/// session names and fault reasons are operator-provided free text.
+void append_json_string(std::string& out, const std::string& text) {
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value,
+                  bool leading_comma = true) {
+    if (leading_comma) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+void append_field(std::string& out, const char* key, double value,
+                  bool leading_comma = true) {
+    if (leading_comma) out += ',';
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"%s\":%.6g", key, value);
+    out += buf;
+}
+
+void append_net(std::string& out, const NetIngestStats& net) {
+    out += "{";
+    append_field(out, "datagrams", net.datagrams, false);
+    append_field(out, "bytes", net.bytes);
+    append_field(out, "frames_delivered", net.frames_delivered);
+    append_field(out, "frame_gaps", net.frame_gaps);
+    append_field(out, "reorders", net.reorders);
+    append_field(out, "duplicates", net.duplicates);
+    append_field(out, "late_fragments", net.late_fragments);
+    append_field(out, "crc_errors", net.crc_errors);
+    append_field(out, "truncated", net.truncated);
+    append_field(out, "bad_magic", net.bad_magic);
+    append_field(out, "version_skew", net.version_skew);
+    append_field(out, "malformed", net.malformed);
+    append_field(out, "foreign_token", net.foreign_token);
+    append_field(out, "idle_timeouts", net.idle_timeouts);
+    out += "}";
+}
+
 }  // namespace
+
+std::string to_json(const FleetStats& stats) {
+    std::string out;
+    out.reserve(256 + stats.sessions.size() * 192);
+    out += "{";
+    append_field(out, "frames", static_cast<std::uint64_t>(stats.frames), false);
+    append_field(out, "wall_s", stats.wall_s);
+    append_field(out, "throughput_fps", stats.throughput_fps);
+    append_field(out, "sessions_admitted",
+                 static_cast<std::uint64_t>(stats.sessions_admitted));
+    append_field(out, "sessions_finished",
+                 static_cast<std::uint64_t>(stats.sessions_finished));
+    append_field(out, "sessions_evicted",
+                 static_cast<std::uint64_t>(stats.sessions_evicted));
+    append_field(out, "active_sessions",
+                 static_cast<std::uint64_t>(stats.active_sessions));
+    append_field(out, "queued_sessions",
+                 static_cast<std::uint64_t>(stats.queued_sessions));
+    out += ",\"net\":";
+    append_net(out, stats.net);
+    out += ",\"sessions\":[";
+    for (std::size_t i = 0; i < stats.sessions.size(); ++i) {
+        const SessionStats& session = stats.sessions[i];
+        if (i > 0) out += ',';
+        out += "{";
+        append_field(out, "id", static_cast<std::uint64_t>(session.id), false);
+        out += ",\"name\":";
+        append_json_string(out, session.name);
+        out += ",\"state\":\"";
+        out += to_string(session.state);
+        out += '"';
+        append_field(out, "frames", static_cast<std::uint64_t>(session.frames));
+        append_field(out, "mean_step_ms", session.mean_step_s() * 1e3);
+        append_field(out, "max_step_ms", session.max_step_s * 1e3);
+        if (!session.fault.empty()) {
+            out += ",\"fault\":";
+            append_json_string(out, session.fault);
+        }
+        if (!session.stages.empty()) {
+            out += ",\"stages\":[";
+            for (std::size_t s = 0; s < session.stages.size(); ++s) {
+                const Engine::StageStats& stage = session.stages[s];
+                if (s > 0) out += ',';
+                out += "{\"name\":";
+                append_json_string(out, stage.name);
+                append_field(out, "frames",
+                             static_cast<std::uint64_t>(stage.frames));
+                append_field(out, "mean_ms", stage.mean_s() * 1e3);
+                append_field(out, "max_ms", stage.max_s * 1e3);
+                out += "}";
+            }
+            out += "]";
+        }
+        if (session.net) {
+            out += ",\"net\":";
+            append_net(out, *session.net);
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
 
 EngineHost::EngineHost(HostConfig config)
     : config_(config),
@@ -307,6 +431,8 @@ FleetStats EngineHost::take_fleet_stats() {
         rollup.max_step_s = session->max_step_s;
         rollup.stages = session->engine->take_stage_stats();
         rollup.fault = session->fault;
+        rollup.net = session->engine->net_stats();
+        if (rollup.net) stats.net += *rollup.net;
         stats.sessions.push_back(std::move(rollup));
 
         session->frames = 0;

@@ -27,6 +27,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,10 @@ struct SessionStats {
     double max_step_s = 0.0;
     std::vector<Engine::StageStats> stages;
     std::string fault;             ///< eviction reason, if evicted
+    /// Network ingestion counters (cumulative over the source's lifetime,
+    /// NOT reset per window) for sessions fed by a net::NetSource; empty
+    /// for in-process sources.
+    std::optional<NetIngestStats> net;
     double mean_step_s() const {
         return frames > 0 ? total_step_s / static_cast<double>(frames) : 0.0;
     }
@@ -114,8 +119,18 @@ struct FleetStats {
     std::size_t sessions_evicted = 0;  ///< lifetime
     std::size_t active_sessions = 0;   ///< currently holding a slot
     std::size_t queued_sessions = 0;   ///< waiting for a slot
+    /// Sum of the network ingestion counters over every currently
+    /// registered network-fed session (cumulative, like the per-session
+    /// counters -- reaped sessions leave the sum).
+    NetIngestStats net;
     std::vector<SessionStats> sessions;
 };
+
+/// Compact single-line JSON rendering of a fleet telemetry snapshot -- the
+/// one FleetStats serialization, shared by the control plane's stats
+/// scrape (net::ControlServer "STATS"), the witrackd periodic log line and
+/// bench_fleet, so dashboards parse one shape.
+std::string to_json(const FleetStats& stats);
 
 class EngineHost {
   public:

@@ -1,0 +1,110 @@
+// TCP control plane for a fleet host: a loopback line protocol through
+// which an operator (or the witrackd client mode, or a test) drives a
+// running EngineHost -- scrape stats, pause/resume/evict sessions, drain a
+// session's state to disk -- without linking against the process.
+//
+// Protocol: one request per line ("COMMAND arg1 arg2 ...\n"), one response
+// line per request, "OK ..." or "ERR <reason>". Built-in commands:
+//
+//   PING                    liveness probe -> "OK pong"
+//   STATS                   -> "OK " + engine::to_json(take_fleet_stats())
+//   PAUSE <id>              stop scheduling a session
+//   RESUME <id>             resume a paused session
+//   EVICT <id> [reason...]  terminally remove a session
+//   CHECKPOINT <id> <path>  serialize a session's state to a file
+//
+// The embedding daemon registers the commands that need policy the server
+// cannot know (ADMIT, DRAIN) via register_command(). The server is
+// single-threaded and non-blocking: the owner calls poll() from its main
+// loop between step_all() rounds; nothing here spawns a thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace witrack::engine {
+class EngineHost;
+}  // namespace witrack::engine
+
+namespace witrack::net {
+
+class ControlServer {
+  public:
+    /// A registered command: argv holds the whitespace-split arguments
+    /// after the command word; the return value is the full response line
+    /// (start it with "OK " or "ERR "). Thrown exceptions become
+    /// "ERR <what()>".
+    using Handler = std::function<std::string(const std::vector<std::string>& argv)>;
+
+    /// Listen on 127.0.0.1:`port` (0 = ephemeral; read it back with
+    /// port()). Throws std::runtime_error when the listen fails.
+    explicit ControlServer(engine::EngineHost& host, std::uint16_t port = 0);
+    ~ControlServer();
+
+    ControlServer(const ControlServer&) = delete;
+    ControlServer& operator=(const ControlServer&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    /// Add (or override) a command. Names are matched case-sensitively;
+    /// convention is UPPERCASE.
+    void register_command(std::string name, Handler handler);
+
+    /// Accept pending connections, read pending request lines, dispatch
+    /// them, write the responses. Never blocks beyond `timeout_ms` (0 =
+    /// return immediately when nothing is pending). Returns the number of
+    /// requests served.
+    std::size_t poll(int timeout_ms = 0);
+
+  private:
+    struct Connection {
+        int fd = -1;
+        std::string inbox;   ///< bytes read, not yet terminated by '\n'
+        bool dead = false;
+    };
+
+    std::string dispatch(const std::string& line);
+    void serve(Connection& connection);
+
+    engine::EngineHost& host_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::vector<Connection> connections_;
+    std::map<std::string, Handler> commands_;
+    std::size_t served_ = 0;
+};
+
+/// Blocking-with-timeout client for the line protocol. request() is the
+/// deployment shape (witrackd --cmd); the send/try_receive pair exists so a
+/// single-threaded test can interleave client I/O with server poll() calls
+/// without deadlocking.
+class ControlClient {
+  public:
+    /// Connect to 127.0.0.1:`port`. Throws std::runtime_error on refusal.
+    explicit ControlClient(std::uint16_t port);
+    ~ControlClient();
+
+    ControlClient(const ControlClient&) = delete;
+    ControlClient& operator=(const ControlClient&) = delete;
+
+    /// Fire one request line (the '\n' is appended here).
+    void send(const std::string& line);
+
+    /// Non-blocking: complete the next response line into `line` (without
+    /// its '\n') and return true, or return false when none is complete
+    /// yet. Throws std::runtime_error when the server hung up.
+    bool try_receive(std::string& line);
+
+    /// send() + wait up to `timeout_ms` for the response line. Throws
+    /// std::runtime_error on timeout or hangup.
+    std::string request(const std::string& line, int timeout_ms = 5000);
+
+  private:
+    int fd_ = -1;
+    std::string inbox_;
+};
+
+}  // namespace witrack::net

@@ -1,0 +1,55 @@
+// Where NetSource's datagrams come from. UdpSocket is the deployment
+// shape (a remote radio on a lossy link); QueueDatagramSource is the
+// in-memory shape that lets the fault-injection tests and benches exercise
+// every degradation path deterministically, without touching a socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace witrack::net {
+
+class DatagramSource {
+  public:
+    virtual ~DatagramSource() = default;
+
+    /// Non-blocking: move the next pending datagram into `datagram` and
+    /// return true, or return false when nothing is pending right now.
+    virtual bool receive(std::vector<std::uint8_t>& datagram) = 0;
+
+    /// Block up to `timeout_ms` for a datagram to become pending. Returns
+    /// true when one (probably) is -- sources with nothing in flight ever
+    /// (a drained queue) return false immediately.
+    virtual bool wait(int timeout_ms) = 0;
+
+    /// True when no datagram is pending and none can ever arrive (a
+    /// closed, drained queue). A live socket never reports exhaustion.
+    virtual bool exhausted() const { return false; }
+};
+
+/// In-memory FIFO of datagrams: push the (possibly fault-injected) stream
+/// in, close(), and NetSource consumes it exactly as it would a socket.
+class QueueDatagramSource final : public DatagramSource {
+  public:
+    void push(std::vector<std::uint8_t> datagram) {
+        queue_.push_back(std::move(datagram));
+    }
+    void close() { closed_ = true; }
+
+    bool receive(std::vector<std::uint8_t>& datagram) override {
+        if (queue_.empty()) return false;
+        datagram = std::move(queue_.front());
+        queue_.pop_front();
+        return true;
+    }
+    bool wait(int) override { return !queue_.empty(); }
+    bool exhausted() const override { return closed_ && queue_.empty(); }
+
+  private:
+    std::deque<std::vector<std::uint8_t>> queue_;
+    bool closed_ = false;
+};
+
+}  // namespace witrack::net

@@ -1,0 +1,74 @@
+#include "net/fault_injector.hpp"
+
+#include <utility>
+
+namespace witrack::net {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_state_(config.seed + 0x9E3779B97F4A7C15ull) {}
+
+// splitmix64: tiny, fast, and -- unlike <random> distributions -- its
+// output is pinned by the standard's arithmetic, so seeds reproduce across
+// standard libraries.
+std::uint64_t FaultInjector::next_u64() {
+    std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+bool FaultInjector::roll(double rate) {
+    if (rate <= 0.0) return false;
+    if (rate >= 1.0) return true;
+    const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    return u < rate;
+}
+
+std::vector<Datagram> FaultInjector::apply(std::vector<Datagram> stream) {
+    if (stream.empty()) return stream;
+    const std::size_t last = stream.size() - 1;
+
+    std::vector<Datagram> out;
+    out.reserve(stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const bool protect = config_.protect_last && i == last;
+        // At most one fault per datagram (drop beats duplicate beats
+        // corrupt), so each counter maps to exactly one observable
+        // consequence -- a corrupted datagram is one CRC error, never a
+        // corrupted duplicate that shows up as two.
+        if (!protect && roll(config_.drop_rate)) {
+            ++counters_.dropped;
+            continue;
+        }
+        if (!protect && roll(config_.duplicate_rate)) {
+            ++counters_.duplicated;
+            out.push_back(stream[i]);
+        } else if (!protect && roll(config_.corrupt_rate) &&
+                   stream[i].size() >= kHeaderBytes + kTrailerBytes) {
+            // Flip one byte past the header (payload when there is one, the
+            // CRC trailer otherwise): the magic/version/length fields stay
+            // intact, so the damage always surfaces as exactly one CRC
+            // error -- never reclassified as bad magic or a truncation.
+            Datagram& d = stream[i];
+            const std::size_t region = d.size() - kHeaderBytes;
+            d[kHeaderBytes + next_u64() % region] ^= 0x5A;
+            ++counters_.corrupted;
+        }
+        out.push_back(std::move(stream[i]));
+    }
+
+    // Pairwise adjacent swaps; the (protected) final datagram never moves.
+    if (out.size() >= 2) {
+        const std::size_t stop = out.size() - (config_.protect_last ? 2 : 1);
+        for (std::size_t i = 0; i < stop; ++i) {
+            if (roll(config_.reorder_rate)) {
+                std::swap(out[i], out[i + 1]);
+                ++counters_.reordered;
+                ++i;  // the swapped pair is settled
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace witrack::net

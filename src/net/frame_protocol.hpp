@@ -1,0 +1,108 @@
+// The UDP frame wire protocol: how one FrameBuffer frame travels from a
+// remote radio to a NetSource. A frame is serialized into a flat body
+// (time, ground truth, shape, raw rx-major samples -- doubles verbatim,
+// native endianness, exactly the Recorder discipline) and split into
+// MTU-sized datagrams, each framed by a fixed header and a trailing CRC32
+// (the one CRC implementation in the tree, common::crc32):
+//
+//   offset  field
+//        0  magic          u32   "WTNF"
+//        4  version        u16   kProtocolVersion
+//        6  flags          u16   bit 0 = end-of-stream marker
+//        8  session token  u64   sender identity (0 = unclaimed)
+//       16  frame seq      u64   monotonically increasing per sender
+//       24  fragment index u16   0-based position within the frame
+//       26  fragment count u16   total fragments of this frame (>= 1)
+//       28  payload bytes  u32   length of the body slice that follows
+//       32  payload        ...   body bytes [index*chunk, ...)
+//     32+n  crc32          u32   over header + payload (bytes [0, 32+n))
+//
+// Every fragment except the last carries exactly the same payload length
+// (mtu - header - crc), so a receiver can place any fragment without
+// waiting for its predecessors. The end-of-stream marker is a payload-less
+// datagram whose frame seq is one past the last frame sent; it lets the
+// receiver account frames that were lost entirely at the tail.
+//
+// Decoding never throws and never trusts a length field: every torn-down
+// path (truncated datagram, foreign magic, version skew, CRC mismatch,
+// nonsense fragment fields) maps to a DecodeStatus the caller counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/frame_source.hpp"
+
+namespace witrack::net {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x464E5457u;  // "WTNF"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kFlagEndOfStream = 1u << 0;
+
+/// Header (32 bytes) + trailing CRC32 frame every datagram.
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kTrailerBytes = 4;
+
+/// Default datagram budget: safely under the 1500-byte Ethernet MTU.
+inline constexpr std::size_t kDefaultMtuBytes = 1400;
+
+/// Upper bound on one reassembled frame body. A hostile fragment count
+/// must fail cleanly, not drive a giant allocation (same discipline as
+/// common::kMaxChunkBytes).
+inline constexpr std::size_t kMaxFrameBodyBytes = std::size_t{1} << 26;
+
+using Datagram = std::vector<std::uint8_t>;
+
+/// Decoded view of one datagram's header fields.
+struct FrameHeader {
+    std::uint64_t token = 0;
+    std::uint64_t frame_seq = 0;
+    std::uint16_t fragment_index = 0;
+    std::uint16_t fragment_count = 1;
+    std::uint16_t flags = 0;
+    bool end_of_stream() const { return (flags & kFlagEndOfStream) != 0; }
+};
+
+enum class DecodeStatus {
+    kOk,
+    kTruncated,    ///< shorter than a header, or length field disagrees
+    kBadMagic,     ///< not a WiTrack net-frame datagram
+    kVersionSkew,  ///< a protocol version this build does not speak
+    kBadCrc,       ///< bit damage in flight
+    kMalformed,    ///< header decoded but its fields are nonsense
+};
+
+/// "ok" / "truncated" / "bad magic" / ...
+const char* to_string(DecodeStatus status);
+
+/// Serialize `frame` into datagrams of at most `mtu_bytes` each. Throws
+/// std::invalid_argument when the frame cannot fit 65535 fragments at this
+/// MTU, or when the MTU cannot carry any payload at all.
+std::vector<Datagram> pack_frame(const engine::Frame& frame,
+                                 std::uint64_t token, std::uint64_t frame_seq,
+                                 std::size_t mtu_bytes = kDefaultMtuBytes);
+
+/// The end-of-stream marker: `end_seq` is one past the last frame's seq.
+Datagram pack_end_of_stream(std::uint64_t token, std::uint64_t end_seq);
+
+/// Validate and decode one datagram. On kOk, `header` holds the decoded
+/// fields and `payload` views the body slice inside `bytes` (valid only as
+/// long as `bytes` is). On any other status both outputs are unspecified.
+DecodeStatus decode_datagram(std::span<const std::uint8_t> bytes,
+                             FrameHeader& header,
+                             std::span<const std::uint8_t>& payload);
+
+/// Deserialize a reassembled frame body into `frame` (the FrameBuffer is
+/// resized only on shape change, so a reused Frame stays allocation-free
+/// at steady state). Returns false on a body whose shape fields disagree
+/// with its length or exceed kMaxFrameBodyBytes; `frame` may be partially
+/// overwritten in that case and the caller must drop it.
+bool decode_frame_body(std::span<const std::uint8_t> body, engine::Frame& frame);
+
+/// Body bytes pack_frame will serialize for this frame (header/CRC framing
+/// excluded) -- lets senders size buffers and tests reason about counts.
+std::size_t frame_body_bytes(const engine::Frame& frame);
+
+}  // namespace witrack::net

@@ -1,0 +1,157 @@
+#include "net/sequence_tracker.hpp"
+
+#include <algorithm>
+
+namespace witrack::net {
+
+SequenceTracker::SequenceTracker(SequenceTrackerConfig config)
+    : config_(config) {
+    if (config_.window_frames == 0) config_.window_frames = 1;
+}
+
+void SequenceTracker::offer(const FrameHeader& header,
+                            std::span<const std::uint8_t> payload) {
+    if (header.end_of_stream()) {
+        eos_seen_ = true;
+        eos_seq_ = std::max(eos_seq_, header.frame_seq);
+        return;
+    }
+
+    // Arrival-order probe: datagrams are sent (seq, fragment) ascending, so
+    // any step backwards means the network reordered them. Duplicates
+    // compare equal and are not reorders.
+    const std::pair<std::uint64_t, std::uint16_t> key{header.frame_seq,
+                                                      header.fragment_index};
+    if (have_last_key_ && key < last_key_) ++stats_.reorders;
+    if (!have_last_key_ || last_key_ < key) last_key_ = key;
+    have_last_key_ = true;
+
+    if (!any_seen_ || header.frame_seq > highest_seen_)
+        highest_seen_ = header.frame_seq;
+    any_seen_ = true;
+
+    if (header.frame_seq < next_seq_) {
+        // The frame this fragment belongs to was already delivered or
+        // written off as a gap; either way its book is closed.
+        ++stats_.late_fragments;
+        return;
+    }
+    if (ready_.count(header.frame_seq) != 0) {
+        ++stats_.duplicates;
+        return;
+    }
+
+    Partial& partial = partial_[header.frame_seq];
+    if (partial.fragment_count == 0) {
+        partial.fragment_count = header.fragment_count;
+    } else if (partial.fragment_count != header.fragment_count) {
+        // Two fragments of one frame disagreeing about the frame's shape:
+        // the sender is broken or hostile. Drop the datagram, keep what we
+        // have (the consistent majority may still complete).
+        ++stats_.malformed;
+        return;
+    }
+    auto [it, inserted] = partial.fragments.try_emplace(
+        header.fragment_index,
+        std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    if (!inserted) {
+        ++stats_.duplicates;
+        return;
+    }
+    ++partial.received;
+    partial.bytes += payload.size();
+    if (partial.bytes > kMaxFrameBodyBytes) {
+        // Cannot be a frame this protocol packed; write the seq off.
+        ++stats_.malformed;
+        partial_.erase(header.frame_seq);
+        skip_to(header.frame_seq + 1);
+        promote();
+        return;
+    }
+
+    if (partial.received == partial.fragment_count)
+        complete(header.frame_seq, std::move(partial));
+    promote();
+}
+
+void SequenceTracker::complete(std::uint64_t seq, Partial&& partial) {
+    std::vector<std::uint8_t> body;
+    body.reserve(partial.bytes);
+    for (auto& [index, fragment] : partial.fragments)
+        body.insert(body.end(), fragment.begin(), fragment.end());
+    partial_.erase(seq);
+    ready_.emplace(seq, std::move(body));
+}
+
+void SequenceTracker::skip_to(std::uint64_t seq) {
+    if (seq <= next_seq_) return;
+    // Every seq in [next_seq_, seq) that never completed is a gap; drop
+    // whatever incomplete fragments it left behind.
+    std::uint64_t skipped = seq - next_seq_;
+    for (auto it = ready_.begin(); it != ready_.end() && it->first < seq;)
+        it = ready_.erase(it);  // unreachable in practice: promote() drains these
+    for (auto it = partial_.begin(); it != partial_.end() && it->first < seq;)
+        it = partial_.erase(it);
+    stats_.frame_gaps += skipped;
+    next_seq_ = seq;
+}
+
+void SequenceTracker::promote() {
+    for (;;) {
+        // In-order frames flow straight through.
+        auto it = ready_.find(next_seq_);
+        if (it != ready_.end()) {
+            deliverable_.emplace_back(it->first, std::move(it->second));
+            ready_.erase(it);
+            ++next_seq_;
+            continue;
+        }
+        // A hole at next_seq_: wait for it until the window of pending
+        // seqs beyond the hole fills, then write the hole off as a gap.
+        const std::uint64_t frontier = std::max<std::uint64_t>(
+            ready_.empty() ? 0 : ready_.rbegin()->first,
+            partial_.empty() ? 0 : partial_.rbegin()->first);
+        const bool overflowing =
+            (!ready_.empty() || !partial_.empty()) &&
+            frontier - next_seq_ >= config_.window_frames;
+        if (!overflowing) return;
+        // Advance to the oldest frame we still might deliver.
+        std::uint64_t target = frontier;
+        if (!ready_.empty()) target = std::min(target, ready_.begin()->first);
+        if (!partial_.empty()) target = std::min(target, partial_.begin()->first);
+        if (target == next_seq_) {
+            // The oldest pending seq IS next_seq_ (an incomplete partial
+            // blocking a full window): give up on completing it.
+            partial_.erase(next_seq_);
+            skip_to(next_seq_ + 1);
+        } else {
+            skip_to(target);
+        }
+    }
+}
+
+void SequenceTracker::flush() {
+    // Deliver every completed frame in order, writing the incomplete seqs
+    // between them off as gaps.
+    while (!ready_.empty()) {
+        skip_to(ready_.begin()->first);
+        promote();
+    }
+    // Everything left is incomplete; account it and the wholly-missing
+    // tail up to the stream bound.
+    std::uint64_t bound = next_seq_;
+    if (eos_seen_) bound = std::max(bound, eos_seq_);
+    if (any_seen_) bound = std::max(bound, highest_seen_ + 1);
+    skip_to(bound);
+}
+
+bool SequenceTracker::pop(std::uint64_t& frame_seq,
+                          std::vector<std::uint8_t>& body) {
+    if (deliverable_.empty()) return false;
+    frame_seq = deliverable_.front().first;
+    body = std::move(deliverable_.front().second);
+    deliverable_.pop_front();
+    return true;
+}
+
+}  // namespace witrack::net

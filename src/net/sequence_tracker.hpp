@@ -1,0 +1,91 @@
+// Per-sender sequence tracking and frame reassembly. One SequenceTracker
+// watches one sender's datagram stream (already CRC-validated by the
+// caller), rebuilds frame bodies from fragments, and accounts every way a
+// lossy link can misbehave: gaps (frame seqs that never completed),
+// reorders (datagrams arriving out of order), duplicate fragments, and
+// late fragments of frames already delivered or written off.
+//
+// Delivery is strictly in-order: pop() hands out frame seqs ascending, and
+// a missing frame holds delivery back only until the reassembly window
+// fills (window_frames pending seqs), at which point the tracker writes
+// the missing frames off as gaps and moves on -- a tracker fed by a live
+// radio must bound both its memory and its latency. flush() (end of
+// stream, or the source going idle) releases everything still pending the
+// same way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/frame_source.hpp"
+#include "net/frame_protocol.hpp"
+
+namespace witrack::net {
+
+struct SequenceTrackerConfig {
+    /// Pending (not yet deliverable) frame seqs held before the oldest
+    /// missing frame is written off as a gap.
+    std::size_t window_frames = 8;
+};
+
+class SequenceTracker {
+  public:
+    explicit SequenceTracker(SequenceTrackerConfig config = {});
+
+    /// Feed one decoded datagram (header + payload from decode_datagram).
+    /// End-of-stream markers update the stream bound instead of carrying a
+    /// fragment. Counters are updated; completed frames become poppable.
+    void offer(const FrameHeader& header, std::span<const std::uint8_t> payload);
+
+    /// Deliver the next in-order completed frame body. False when nothing
+    /// is deliverable yet (a gap may still fill in).
+    bool pop(std::uint64_t& frame_seq, std::vector<std::uint8_t>& body);
+
+    /// Release every completed pending frame in order, writing incomplete
+    /// and missing seqs off as gaps up to the stream bound (the
+    /// end-of-stream seq when one arrived, one past the highest seq seen
+    /// otherwise). Idempotent; offer() may resume afterwards.
+    void flush();
+
+    /// True once an end-of-stream marker arrived.
+    bool end_of_stream_seen() const { return eos_seen_; }
+
+    /// Seq-level counters (frame_gaps, reorders, duplicates,
+    /// late_fragments, malformed, idle/datagram fields untouched). The
+    /// caller owns the datagram-level counters.
+    const engine::NetIngestStats& stats() const { return stats_; }
+
+    std::size_t pending_frames() const { return partial_.size() + ready_.size(); }
+
+  private:
+    struct Partial {
+        std::uint16_t fragment_count = 0;
+        std::size_t received = 0;
+        std::size_t bytes = 0;
+        std::map<std::uint16_t, std::vector<std::uint8_t>> fragments;
+    };
+
+    void complete(std::uint64_t seq, Partial&& partial);
+    void promote();
+    void skip_to(std::uint64_t seq);
+
+    SequenceTrackerConfig config_;
+    engine::NetIngestStats stats_;
+    std::map<std::uint64_t, Partial> partial_;          ///< incomplete frames
+    std::map<std::uint64_t, std::vector<std::uint8_t>> ready_;  ///< complete, waiting for order
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> deliverable_;
+    std::uint64_t next_seq_ = 0;       ///< next frame seq to deliver
+    std::uint64_t highest_seen_ = 0;   ///< highest frame seq offered
+    bool any_seen_ = false;
+    bool eos_seen_ = false;
+    std::uint64_t eos_seq_ = 0;
+    bool have_last_key_ = false;
+    std::pair<std::uint64_t, std::uint16_t> last_key_{0, 0};  ///< arrival order probe
+};
+
+}  // namespace witrack::net
