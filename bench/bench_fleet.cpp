@@ -29,6 +29,7 @@
 #include "engine/host.hpp"
 #include "engine/replay.hpp"
 #include "engine/sim_source.hpp"
+#include "harness.hpp"
 #include "net/datagram_source.hpp"
 #include "net/fault_injector.hpp"
 #include "net/frame_protocol.hpp"
@@ -54,17 +55,21 @@ std::unique_ptr<engine::SimSource> make_source(std::uint64_t seed) {
 struct Point {
     std::size_t workers = 0;
     std::size_t sessions = 0;
+    bool batch_fft = false;
     std::size_t frames = 0;
     double seconds = 0.0;
     double fps() const { return seconds > 0.0 ? frames / seconds : 0.0; }
 };
 
 /// One fleet run to completion: `sessions` identical full-pipeline sim
-/// tenants on a host with `workers` shared workers.
-Point run_fleet(std::size_t workers, std::size_t sessions) {
+/// tenants on a host with `workers` shared workers, optionally gathering
+/// every round's range FFTs into cross-session batches.
+Point run_fleet(std::size_t workers, std::size_t sessions,
+                bool batch_fft = false) {
     engine::EngineHost host(engine::HostConfig{}
                                 .with_workers(workers)
-                                .with_max_sessions(sessions));
+                                .with_max_sessions(sessions)
+                                .with_batch_fft(batch_fft));
     for (std::size_t s = 0; s < sessions; ++s)
         host.admit("bench-" + std::to_string(s), session_config(900 + s),
                    make_source(900 + s));
@@ -72,14 +77,16 @@ Point run_fleet(std::size_t workers, std::size_t sessions) {
     Point point;
     point.workers = workers;
     point.sessions = sessions;
+    point.batch_fft = batch_fft;
     const auto t0 = std::chrono::steady_clock::now();
     point.frames = host.run();
     const auto t1 = std::chrono::steady_clock::now();
     point.seconds = std::chrono::duration<double>(t1 - t0).count();
-    std::printf("  workers %zu  sessions %zu  %5zu frames  %6.2f s  %7.1f "
+    std::printf("  workers %zu  sessions %zu%s  %5zu frames  %6.2f s  %7.1f "
                 "frames/s\n",
-                point.workers, point.sessions, point.frames, point.seconds,
-                point.fps());
+                point.workers, point.sessions,
+                point.batch_fft ? "  batch" : "       ", point.frames,
+                point.seconds, point.fps());
     return point;
 }
 
@@ -186,26 +193,16 @@ int run_snapshot_bench(const std::string& path) {
     }));
     std::remove(recording.c_str());
 
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
-    }
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"benchmark\": \"bench_fleet --snapshot-json\",\n");
-    std::fprintf(out,
-                 "  \"scenario\": \"Engine::snapshot / Engine::restore at "
-                 "mid-episode for the three canonical session shapes "
-                 "(LineWalkScript, fast capture, ~160 frames); restore "
-                 "includes fast-forwarding the replay cursor for the replay "
-                 "shape\",\n");
-    std::fprintf(out, "  \"host_cpus\": %u,\n",
-                 std::thread::hardware_concurrency());
-    if (std::thread::hardware_concurrency() < 2) {
-        std::fprintf(out,
-                     "  \"note\": \"single-core host: absolute latencies are "
-                     "pessimistic; the byte sizes are machine-independent\",\n");
-    }
+    bench::JsonReport report(path, "bench_fleet --snapshot-json",
+                             "Engine::snapshot / Engine::restore at "
+                             "mid-episode for the three canonical session "
+                             "shapes (LineWalkScript, fast capture, ~160 "
+                             "frames); restore includes fast-forwarding the "
+                             "replay cursor for the replay shape");
+    if (!report.ok()) return 1;
+    report.single_core_caveat("absolute latencies are pessimistic; the byte "
+                              "sizes are machine-independent");
+    std::FILE* out = report.stream();
     std::fprintf(out, "  \"sessions\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto& p = points[i];
@@ -218,10 +215,7 @@ int run_snapshot_bench(const std::string& path) {
                      i + 1 < points.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n");
-    std::fprintf(out, "}\n");
-    std::fclose(out);
-    std::printf("wrote %s\n", path.c_str());
-    return 0;
+    return report.close();
 }
 
 // ------------------------------------------------ net ingestion mode
@@ -312,29 +306,18 @@ int run_net_bench(const std::string& path) {
     for (const double loss : {0.0, 0.01, 0.05})
         points.push_back(run_net_ingest(frames, loss));
 
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
-    }
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"benchmark\": \"bench_fleet --net-json\",\n");
-    std::fprintf(out,
-                 "  \"scenario\": \"one canonical episode (LineWalkScript, "
-                 "fast capture) packed into WTNF datagrams and reassembled "
-                 "by a NetSource from a pre-filled queue, swept across "
-                 "injected drop rates (seeded FaultInjector, end-of-stream "
-                 "marker protected); reassembly_us_per_frame is decode + CRC "
-                 "+ reassembly wall clock amortized per delivered frame\",\n");
+    bench::JsonReport report(
+        path, "bench_fleet --net-json",
+        "one canonical episode (LineWalkScript, fast capture) packed into "
+        "WTNF datagrams and reassembled by a NetSource from a pre-filled "
+        "queue, swept across injected drop rates (seeded FaultInjector, "
+        "end-of-stream marker protected); reassembly_us_per_frame is decode "
+        "+ CRC + reassembly wall clock amortized per delivered frame");
+    if (!report.ok()) return 1;
+    report.single_core_caveat("absolute rates are pessimistic; the "
+                              "delivery/gap accounting is machine-independent");
+    std::FILE* out = report.stream();
     std::fprintf(out, "  \"mtu_bytes\": %zu,\n", net::kDefaultMtuBytes);
-    std::fprintf(out, "  \"host_cpus\": %u,\n",
-                 std::thread::hardware_concurrency());
-    if (std::thread::hardware_concurrency() < 2) {
-        std::fprintf(out,
-                     "  \"note\": \"single-core host: absolute rates are "
-                     "pessimistic; the delivery/gap accounting is "
-                     "machine-independent\",\n");
-    }
     std::fprintf(out, "  \"sweep\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto& p = points[i];
@@ -350,10 +333,7 @@ int run_net_bench(const std::string& path) {
                      i + 1 < points.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n");
-    std::fprintf(out, "}\n");
-    std::fclose(out);
-    std::printf("wrote %s\n", path.c_str());
-    return 0;
+    return report.close();
 }
 
 }  // namespace
@@ -378,40 +358,32 @@ int main(int argc, char** argv) {
     for (const std::size_t workers : {1u, 2u, 4u})
         for (const std::size_t sessions : {1u, 2u, 4u, 8u})
             points.push_back(run_fleet(workers, sessions));
+    // The batched-FFT schedule: serial host, cross-session batches.
+    for (const std::size_t sessions : {2u, 4u, 8u})
+        points.push_back(run_fleet(1, sessions, /*batch_fft=*/true));
 
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
-    }
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"benchmark\": \"bench_fleet\",\n");
-    std::fprintf(out,
-                 "  \"scenario\": \"N identical full-pipeline sim sessions "
-                 "(LineWalkScript, fast capture, ~160 frames each) on one "
-                 "EngineHost, run to completion\",\n");
-    std::fprintf(out, "  \"host_cpus\": %u,\n",
-                 std::thread::hardware_concurrency());
-    if (std::thread::hardware_concurrency() < 2) {
-        std::fprintf(out,
-                     "  \"note\": \"single-core host: the multi-worker "
-                     "configurations can only add dispatch overhead here (no "
-                     "parallel hardware); rerun on a multi-core machine for "
-                     "the scaling curve -- tests/test_fleet.cpp proves all "
-                     "schedules bit-identical regardless\",\n");
-    }
+    bench::JsonReport report(path, "bench_fleet",
+                             "N identical full-pipeline sim sessions "
+                             "(LineWalkScript, fast capture, ~160 frames "
+                             "each) on one EngineHost, run to completion");
+    if (!report.ok()) return 1;
+    report.single_core_caveat(
+        "the multi-worker configurations can only add dispatch overhead here "
+        "(no parallel hardware); rerun on a multi-core machine for the "
+        "scaling curve -- tests/test_fleet.cpp proves all schedules "
+        "bit-identical regardless");
+    std::FILE* out = report.stream();
     std::fprintf(out, "  \"configurations\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto& p = points[i];
         std::fprintf(out,
-                     "    {\"workers\": %zu, \"sessions\": %zu, \"frames\": "
-                     "%zu, \"seconds\": %.4f, \"frames_per_second\": %.1f}%s\n",
-                     p.workers, p.sessions, p.frames, p.seconds, p.fps(),
+                     "    {\"workers\": %zu, \"sessions\": %zu, \"batch_fft\": "
+                     "%s, \"frames\": %zu, \"seconds\": %.4f, "
+                     "\"frames_per_second\": %.1f}%s\n",
+                     p.workers, p.sessions, p.batch_fft ? "true" : "false",
+                     p.frames, p.seconds, p.fps(),
                      i + 1 < points.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n");
-    std::fprintf(out, "}\n");
-    std::fclose(out);
-    std::printf("wrote %s\n", path.c_str());
-    return 0;
+    return report.close();
 }

@@ -35,6 +35,10 @@ SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
 
 void SweepProcessor::transform(RangeProfile& out) {
     rfft_->forward_windowed(averaged_, window_, out.spectrum, scratch_);
+    finalize_profile(out);
+}
+
+void SweepProcessor::finalize_profile(RangeProfile& out) const {
     // One FFT bin spans fs/Nfft in beat frequency; Eq. 4 maps that to
     // round-trip meters via C/slope.
     const double bin_hz = fmcw_.sample_rate_hz / static_cast<double>(fft_size_);
@@ -42,8 +46,8 @@ void SweepProcessor::transform(RangeProfile& out) {
     out.usable_bins = fft_size_ / 2;
 }
 
-void SweepProcessor::process_into(std::span<const double> sweeps,
-                                  std::size_t sweep_count, RangeProfile& out) {
+void SweepProcessor::average(std::span<const double> sweeps,
+                             std::size_t sweep_count) {
     const std::size_t n = fmcw_.samples_per_sweep();
     if (sweep_count == 0) throw std::invalid_argument("SweepProcessor: no sweeps");
     if (sweeps.size() != sweep_count * n)
@@ -59,7 +63,19 @@ void SweepProcessor::process_into(std::span<const double> sweeps,
         const double* sweep = sweeps.data() + s * n;
         for (std::size_t i = 0; i < n; ++i) averaged_[i] += sweep[i] * scale;
     }
+}
+
+void SweepProcessor::process_into(std::span<const double> sweeps,
+                                  std::size_t sweep_count, RangeProfile& out) {
+    average(sweeps, sweep_count);
     transform(out);
+}
+
+void SweepProcessor::stage_into(std::span<const double> sweeps,
+                                std::size_t sweep_count, RangeProfile& out,
+                                dsp::FftBatch& batch) {
+    average(sweeps, sweep_count);
+    batch.enqueue(*rfft_, averaged_, window_, out.spectrum);
 }
 
 void SweepProcessor::process_frame_into(const FrameBuffer& frame,
@@ -83,6 +99,25 @@ void SweepProcessorBank::ensure_lanes(std::size_t count) {
     lanes_.reserve(count);
     while (lanes_.size() < count)
         lanes_.emplace_back(fmcw_, window_, fft_size_, plans_);
+}
+
+void SweepProcessorBank::stage_frame(const FrameBuffer& frame,
+                                     std::vector<RangeProfile>& out,
+                                     dsp::FftBatch& batch) {
+    if (frame.num_rx() == 0 || frame.num_sweeps() == 0)
+        throw std::invalid_argument("SweepProcessor: no sweeps");
+    out.resize(frame.num_rx());
+    // One lane per antenna: each staged transform's averaging buffer is
+    // owned by a distinct processor, so all of them can be pending at once.
+    ensure_lanes(frame.num_rx());
+    for (std::size_t rx = 0; rx < frame.num_rx(); ++rx)
+        lane(rx).stage_into(frame.antenna(rx), frame.num_sweeps(), out[rx],
+                            batch);
+}
+
+void SweepProcessorBank::finalize_frame(std::vector<RangeProfile>& out) {
+    for (std::size_t rx = 0; rx < out.size(); ++rx)
+        lane(rx).finalize_profile(out[rx]);
 }
 
 }  // namespace witrack::core

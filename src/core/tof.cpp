@@ -46,9 +46,12 @@ void TofEstimator::set_worker_pool(common::WorkerPool* pool) {
 void TofEstimator::process_rx(std::size_t rx, SweepProcessor& processor,
                               const FrameBuffer& frame, double dt,
                               AntennaFrame& out) {
-    auto& antenna_state = per_rx_[rx];
-
     processor.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
+    post_rx(rx, dt, out);
+}
+
+void TofEstimator::post_rx(std::size_t rx, double dt, AntennaFrame& out) {
+    auto& antenna_state = per_rx_[rx];
     const auto& profile = profiles_[rx];
     auto& magnitude = magnitude_[rx];
     antenna_state.background.subtract_into(profile, magnitude);
@@ -108,6 +111,32 @@ TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
     } else {
         for (std::size_t rx = 0; rx < per_rx_.size(); ++rx)
             process_rx(rx, processors_.lane(0), frame, dt, out_frame.antennas[rx]);
+    }
+    return out_frame;
+}
+
+void TofEstimator::stage_frame(const FrameBuffer& frame, double time_s,
+                               dsp::FftBatch& batch) {
+    if (frame.num_rx() < per_rx_.size())
+        throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
+    staged_time_s_ = time_s;
+    // One FFT lane per antenna so every staged transform's averaging
+    // buffer is distinct. Lanes are identically configured, so lane(rx)
+    // produces bit-identically what the serial path's lane(0) would.
+    processors_.ensure_lanes(per_rx_.size());
+    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx)
+        processors_.lane(rx).stage_into(frame.antenna(rx), frame.num_sweeps(),
+                                        profiles_[rx], batch);
+}
+
+TofFrame TofEstimator::finish_frame() {
+    TofFrame out_frame;
+    out_frame.time_s = staged_time_s_;
+    out_frame.antennas.resize(per_rx_.size());
+    const double dt = config_.fmcw.frame_duration_s();
+    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
+        processors_.lane(rx).finalize_profile(profiles_[rx]);
+        post_rx(rx, dt, out_frame.antennas[rx]);
     }
     return out_frame;
 }

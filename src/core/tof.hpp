@@ -88,6 +88,18 @@ class TofEstimator {
     /// FrameBuffer is the only ingestion type.
     TofFrame process_frame(const FrameBuffer& frame, double time_s);
 
+    /// Split-step form of process_frame for batched FFT execution: average
+    /// each antenna's sweeps and *stage* its range FFT into `batch` now
+    /// (one FFT lane per antenna); after the caller runs the batch,
+    /// finish_frame() runs the remainder of every antenna's chain
+    /// (subtraction, contour, gating, denoise) and returns the frame.
+    /// Per-antenna state mutates only in finish_frame, and the result is
+    /// bit-identical to process_frame. Exactly one finish_frame call must
+    /// follow each stage_frame; `frame` must stay alive in between.
+    void stage_frame(const FrameBuffer& frame, double time_s,
+                     dsp::FftBatch& batch);
+    TofFrame finish_frame();
+
     /// Static-training extension: learn the empty scene from these frames
     /// (switches the background mode for all antennas).
     void enable_static_training();
@@ -128,6 +140,10 @@ class TofEstimator {
     void process_rx(std::size_t rx, SweepProcessor& processor,
                     const FrameBuffer& frame, double dt, AntennaFrame& out);
 
+    /// The post-FFT remainder of process_rx: consumes profiles_[rx] (the
+    /// antenna's finalized range profile) and updates rx-indexed state.
+    void post_rx(std::size_t rx, double dt, AntennaFrame& out);
+
     PipelineConfig config_;
     SweepProcessorBank processors_;               ///< lane per rx when pooled
     ContourTracker contour_;
@@ -135,6 +151,7 @@ class TofEstimator {
     std::vector<PerAntenna> per_rx_;
     std::vector<RangeProfile> profiles_;          ///< reused per-rx spectra
     std::vector<std::vector<double>> magnitude_;  ///< reused per-rx profiles
+    double staged_time_s_ = 0.0;                  ///< timestamp of the staged frame
 };
 
 /// Value-type serialization for recorded TOF observations (used by stages

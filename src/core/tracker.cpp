@@ -81,6 +81,65 @@ WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& fra
     return result;
 }
 
+void WiTrackTracker::stage_frame(const FrameBuffer& frame, double time_s,
+                                 PipelineOutputs demanded,
+                                 dsp::FftBatch& batch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    demanded = with_dependencies(demanded);
+
+    // Same demand-gap resets, in the same order, as process_frame.
+    if (demands(demanded, PipelineOutputs::kTof) &&
+        !demands(prev_demanded_, PipelineOutputs::kTof))
+        tof_step_.reset();
+    if (demands(demanded, PipelineOutputs::kSmoothedTrack) &&
+        !demands(prev_demanded_, PipelineOutputs::kSmoothedTrack))
+        smooth_step_.reset();
+    prev_demanded_ = demanded;
+
+    staged_demanded_ = demanded;
+    staged_time_s_ = time_s;
+    if (demands(demanded, PipelineOutputs::kTof))
+        tof_step_.estimator().stage_frame(frame, time_s, batch);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    staged_elapsed_s_ = std::chrono::duration<double>(t1 - t0).count();
+}
+
+WiTrackTracker::FrameResult WiTrackTracker::finish_frame() {
+    // Mirrors the post-TOF tail of process_frame exactly; only the range
+    // FFTs ran elsewhere (in the shared batch pass).
+    const auto t0 = std::chrono::steady_clock::now();
+    FrameResult result;
+    result.computed = staged_demanded_;
+
+    if (demands(staged_demanded_, PipelineOutputs::kTof))
+        result.tof = tof_step_.estimator().finish_frame();
+
+    if (demands(staged_demanded_, PipelineOutputs::kRawPosition)) {
+        result.raw = localize_step_.run(result.tof);
+        if (result.raw) {
+            raw_track_.push_back(*result.raw);
+            trim_history(raw_track_);
+        }
+    }
+
+    if (demands(staged_demanded_, PipelineOutputs::kSmoothedTrack)) {
+        result.smoothed = smooth_step_.run(result.raw, staged_time_s_);
+        if (result.smoothed) {
+            track_.push_back(*result.smoothed);
+            trim_history(track_);
+        }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.processing_seconds =
+        staged_elapsed_s_ + std::chrono::duration<double>(t1 - t0).count();
+    total_latency_s_ += result.processing_seconds;
+    max_latency_s_ = std::max(max_latency_s_, result.processing_seconds);
+    ++frames_;
+    return result;
+}
+
 void WiTrackTracker::trim_history(std::vector<TrackPoint>& track) {
     // Trim only once the history doubles the cap, so each erase moves cap
     // elements after cap insertions: amortized O(1) per frame.

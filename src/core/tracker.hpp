@@ -56,6 +56,18 @@ class WiTrackTracker {
     FrameResult process_frame(const FrameBuffer& frame, double time_s,
                               PipelineOutputs demanded);
 
+    /// Split-step form of process_frame for batched FFT execution: run the
+    /// demand bookkeeping and stage the TOF step's range FFTs into `batch`
+    /// now; after the caller runs the batch, finish_frame() completes the
+    /// chain and returns the result -- bit-identical to process_frame.
+    /// Exactly one finish_frame must follow each stage_frame, with the
+    /// batch run in between. processing_seconds covers this tracker's own
+    /// stage + finish work; the shared batch pass is accounted by the
+    /// scheduler that ran it.
+    void stage_frame(const FrameBuffer& frame, double time_s,
+                     PipelineOutputs demanded, dsp::FftBatch& batch);
+    FrameResult finish_frame();
+
     /// Fan the per-antenna TOF chains out across `pool` (nullptr = serial).
     /// Parallel output is bit-identical to serial; the pool is borrowed and
     /// must outlive the tracker.
@@ -95,6 +107,11 @@ class WiTrackTracker {
     LocalizeStep localize_step_;
     SmoothStep smooth_step_;
     PipelineOutputs prev_demanded_ = PipelineOutputs::kNone;
+    // Transient split-step state, valid between stage_frame and its
+    // finish_frame (not serialized: snapshots happen at frame boundaries).
+    PipelineOutputs staged_demanded_ = PipelineOutputs::kNone;
+    double staged_time_s_ = 0.0;
+    double staged_elapsed_s_ = 0.0;
     std::vector<TrackPoint> track_;
     std::vector<TrackPoint> raw_track_;
     double total_latency_s_ = 0.0;

@@ -16,8 +16,47 @@ std::size_t next_power_of_two(std::size_t n) {
 }
 
 /// Grow-only plane sizing: capacity is kept warm across mixed-size calls.
-inline void ensure_plane(std::vector<double>& v, std::size_t n) {
+template <class T>
+inline void ensure_plane(std::vector<T>& v, std::size_t n) {
     if (v.size() < n) v.resize(n);
+}
+
+/// Untangle the even/odd sub-spectra (E_k, O_k) of one packed half-length
+/// transform Z and recombine into the non-redundant half X_0..X_h:
+///   X_k = E_k + w^k O_k,  with  E_k = (Z_k + conj(Z_{h-k}))/2,
+///   O_k = -i/2 (Z_k - conj(Z_{h-k})),  w = exp(-2*pi*i/N).
+/// Each loop iteration emits the pair (X_k, X_{h-k} = conj(E_k - w^k O_k)),
+/// so the untangle does h/2 iterations instead of the h a full-spectrum
+/// recombination needs. `stride` parameterizes the layout: 1 for the
+/// sequential path's contiguous planes, B for a lane-interleaved batch
+/// member (base pointers already offset to the member). TS is the source
+/// element type (double, or float for the float32 batch lane); the
+/// recombination arithmetic is double either way, so the stride-1 double
+/// instantiation is bit-identical to the pre-batch sequential code.
+template <class TS>
+void untangle_half_spectrum(const TS* zr, const TS* zi, std::size_t h,
+                            std::size_t stride, const double* wr,
+                            const double* wi, std::vector<cplx>& out) {
+    out.resize(h + 1);
+    const double zr0 = zr[0], zi0 = zi[0];
+    out[0] = cplx(zr0 + zi0, 0.0);
+    out[h] = cplx(zr0 - zi0, 0.0);
+    for (std::size_t k = 1; 2 * k < h; ++k) {
+        const double ar = zr[k * stride], ai = zi[k * stride];
+        const double br = zr[(h - k) * stride], bi = zi[(h - k) * stride];
+        const double er = 0.5 * (ar + br);
+        const double ei = 0.5 * (ai - bi);
+        const double odr = 0.5 * (ai + bi);
+        const double odi = 0.5 * (br - ar);
+        const double tr = wr[k] * odr - wi[k] * odi;
+        const double ti = wr[k] * odi + wi[k] * odr;
+        out[k] = cplx(er + tr, ei + ti);
+        out[h - k] = cplx(er - tr, ti - ei);
+    }
+    if (h % 2 == 0 && h >= 2) {  // middle bin: X_{h/2} = conj(Z_{h/2}) exactly
+        const double mr = zr[(h / 2) * stride], mi = zi[(h / 2) * stride];
+        out[h / 2] = cplx(mr, -mi);
+    }
 }
 
 }  // namespace
@@ -121,6 +160,66 @@ void Fft::inverse_soa(double* re, double* im, FftScratch& scratch) const {
         re[k] *= scale;
         im[k] = -im[k] * scale;
     }
+}
+
+void Fft::forward_batch(std::span<double* const> re, std::span<double* const> im,
+                        FftScratch& scratch, BatchPrecision precision) const {
+    if (re.size() != im.size())
+        throw std::invalid_argument("Fft::forward_batch: plane count mismatch");
+    const std::size_t B = re.size();
+    if (B == 0) return;
+    if (B == 1) {  // degenerate batch: exactly the sequential schedule
+        forward_soa(re[0], im[0], scratch);
+        return;
+    }
+    if (!pow2_) {  // Bluestein has no lane-interleaved form; run sequentially
+        for (std::size_t b = 0; b < B; ++b)
+            bluestein_forward(re[b], im[b], scratch);
+        return;
+    }
+
+    const std::size_t nzb = kernel_->n_nonzero();
+    const kernels::BatchKernel batch(*kernel_);
+    if (precision == BatchPrecision::kFloat32) {
+        ensure_plane(scratch.fre, n_ * B);
+        ensure_plane(scratch.fim, n_ * B);
+        ensure_plane(scratch.fwre, n_ * B);
+        ensure_plane(scratch.fwim, n_ * B);
+        float* qr = scratch.fre.data();
+        float* qi = scratch.fim.data();
+        for (std::size_t i = 0; i < nzb; ++i)
+            for (std::size_t b = 0; b < B; ++b) {
+                qr[i * B + b] = static_cast<float>(re[b][i]);
+                qi[i * B + b] = static_cast<float>(im[b][i]);
+            }
+        batch.forward(B, qr, qi, scratch.fwre.data(), scratch.fwim.data());
+        for (std::size_t i = 0; i < n_; ++i)
+            for (std::size_t b = 0; b < B; ++b) {
+                re[b][i] = qr[i * B + b];
+                im[b][i] = qi[i * B + b];
+            }
+        return;
+    }
+
+    ensure_plane(scratch.qre, n_ * B);
+    ensure_plane(scratch.qim, n_ * B);
+    ensure_plane(scratch.wre, n_ * B);
+    ensure_plane(scratch.wim, n_ * B);
+    double* qr = scratch.qre.data();
+    double* qi = scratch.qim.data();
+    // Only the structurally nonzero prefix needs interleaving; the kernel
+    // never reads past it.
+    for (std::size_t i = 0; i < nzb; ++i)
+        for (std::size_t b = 0; b < B; ++b) {
+            qr[i * B + b] = re[b][i];
+            qi[i * B + b] = im[b][i];
+        }
+    batch.forward(B, qr, qi, scratch.wre.data(), scratch.wim.data());
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t b = 0; b < B; ++b) {
+            re[b][i] = qr[i * B + b];
+            im[b][i] = qi[i * B + b];
+        }
 }
 
 void Fft::forward(std::vector<cplx>& data) const {
@@ -249,33 +348,169 @@ void RealFft::transform(std::span<const double> input, const double* window,
     }
     half_plan_->forward_soa(zr, zi, scratch);
 
-    // Untangle the even/odd sub-spectra (E_k, O_k) from Z and recombine:
-    //   X_k = E_k + w^k O_k,  with  E_k = (Z_k + conj(Z_{h-k}))/2,
-    //   O_k = -i/2 (Z_k - conj(Z_{h-k})),  w = exp(-2*pi*i/N).
-    // Only the non-redundant half X_0..X_h is materialized, and each loop
-    // iteration emits the pair (X_k, X_{h-k} = conj(E_k - w^k O_k)), so
-    // the untangle does h/2 iterations instead of the h a full-spectrum
-    // recombination needs.
-    out.resize(h + 1);
-    const double zr0 = zr[0], zi0 = zi[0];
-    out[0] = cplx(zr0 + zi0, 0.0);
-    out[h] = cplx(zr0 - zi0, 0.0);
-    const double* wr = twr_.data();
-    const double* wi = twi_.data();
-    for (std::size_t k = 1; 2 * k < h; ++k) {
-        const double ar = zr[k], ai = zi[k];
-        const double br = zr[h - k], bi = zi[h - k];
-        const double er = 0.5 * (ar + br);
-        const double ei = 0.5 * (ai - bi);
-        const double odr = 0.5 * (ai + bi);
-        const double odi = 0.5 * (br - ar);
-        const double tr = wr[k] * odr - wi[k] * odi;
-        const double ti = wr[k] * odi + wi[k] * odr;
-        out[k] = cplx(er + tr, ei + ti);
-        out[h - k] = cplx(er - tr, ti - ei);
+    untangle_half_spectrum(zr, zi, h, 1, twr_.data(), twi_.data(), out);
+}
+
+namespace {
+
+/// One lane-interleaved r2c pass over B same-shape members: fused-window
+/// packing (per-member window, applied in double and rounded once for the
+/// float32 lane), one BatchKernel forward over the shared half-length
+/// plan, then a strided untangle per member. The double instantiation
+/// performs exactly the sequential transform()'s operations per member.
+template <class T>
+void r2c_batch_pass(std::span<const RealFft::BatchItem> items,
+                    const kernels::Pow2Kernel& half, std::size_t nz,
+                    std::size_t packed_nz, std::size_t h, const double* twr,
+                    const double* twi, T* zr, T* zi, T* wkr, T* wki) {
+    const std::size_t B = items.size();
+    const std::size_t pairs = nz / 2;
+    // Tile the packed index so each member's strided writes land inside an
+    // L1-resident window of the interleaved planes: an interleaved cache
+    // line is then filled by all B members while it stays hot, instead of
+    // being fetched B times across full-buffer walks (the per-member
+    // arithmetic is unchanged, only the visit order).
+    const std::size_t tile = std::max<std::size_t>(std::size_t{1}, 1024 / B);
+    for (std::size_t k0 = 0; k0 < pairs; k0 += tile) {
+        const std::size_t k1 = std::min(pairs, k0 + tile);
+        for (std::size_t b = 0; b < B; ++b) {
+            const double* in = items[b].input.data();
+            const double* win =
+                items[b].window.empty() ? nullptr : items[b].window.data();
+            if (win != nullptr) {
+                for (std::size_t k = k0; k < k1; ++k) {
+                    zr[k * B + b] = static_cast<T>(in[2 * k] * win[2 * k]);
+                    zi[k * B + b] =
+                        static_cast<T>(in[2 * k + 1] * win[2 * k + 1]);
+                }
+            } else {
+                for (std::size_t k = k0; k < k1; ++k) {
+                    zr[k * B + b] = static_cast<T>(in[2 * k]);
+                    zi[k * B + b] = static_cast<T>(in[2 * k + 1]);
+                }
+            }
+        }
     }
-    if (h % 2 == 0 && h >= 2)  // middle bin: X_{h/2} = conj(Z_{h/2}) exactly
-        out[h / 2] = cplx(zr[h / 2], -zi[h / 2]);
+    if (nz % 2 == 1) {
+        for (std::size_t b = 0; b < B; ++b) {
+            const double* in = items[b].input.data();
+            const double* win =
+                items[b].window.empty() ? nullptr : items[b].window.data();
+            zr[(packed_nz - 1) * B + b] = static_cast<T>(
+                win != nullptr ? in[nz - 1] * win[nz - 1] : in[nz - 1]);
+            zi[(packed_nz - 1) * B + b] = T(0);
+        }
+    }
+    // Same materialization rule as the sequential path: a pruned half plan
+    // treats [packed_nz, h) as structural zero and never reads it.
+    if (packed_nz < h && half.n_nonzero() == h) {
+        std::fill(zr + packed_nz * B, zr + h * B, T(0));
+        std::fill(zi + packed_nz * B, zi + h * B, T(0));
+    }
+    kernels::BatchKernel(half).forward(B, zr, zi, wkr, wki);
+    // Tiled untangle, same cache-line reuse argument as the pack above: the
+    // per-(k, b) recombination is exactly untangle_half_spectrum's, but the
+    // k loop is chunked so the four strided read streams (both plane ends)
+    // stay L1-resident across all B members of a chunk.
+    for (std::size_t b = 0; b < B; ++b) {
+        std::vector<cplx>& out = *items[b].out;
+        out.resize(h + 1);
+        const double zr0 = zr[b], zi0 = zi[b];
+        out[0] = cplx(zr0 + zi0, 0.0);
+        out[h] = cplx(zr0 - zi0, 0.0);
+        if (h % 2 == 0 && h >= 2) {
+            const double mr = zr[(h / 2) * B + b], mi = zi[(h / 2) * B + b];
+            out[h / 2] = cplx(mr, -mi);
+        }
+    }
+    const std::size_t untangle_tile = std::max<std::size_t>(std::size_t{1}, 512 / B);
+    for (std::size_t k0 = 1; 2 * k0 < h; k0 += untangle_tile) {
+        const std::size_t k1 = std::min(k0 + untangle_tile, (h + 1) / 2);
+        for (std::size_t b = 0; b < B; ++b) {
+            const T* zrb = zr + b;
+            const T* zib = zi + b;
+            cplx* out = items[b].out->data();
+            for (std::size_t k = k0; k < k1; ++k) {
+                const double ar = zrb[k * B], ai = zib[k * B];
+                const double br = zrb[(h - k) * B], bi = zib[(h - k) * B];
+                const double er = 0.5 * (ar + br);
+                const double ei = 0.5 * (ai - bi);
+                const double odr = 0.5 * (ai + bi);
+                const double odi = 0.5 * (br - ar);
+                const double tr = twr[k] * odr - twi[k] * odi;
+                const double ti = twr[k] * odi + twi[k] * odr;
+                out[k] = cplx(er + tr, ei + ti);
+                out[h - k] = cplx(er - tr, ti - ei);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void RealFft::transform_batch(std::span<const BatchItem> items,
+                              FftScratch& scratch,
+                              BatchPrecision precision) const {
+    const std::size_t B = items.size();
+    if (B == 0) return;
+    // Validate every member before any output mutates.
+    for (const BatchItem& item : items) {
+        if (item.out == nullptr)
+            throw std::invalid_argument("RealFft::forward_batch: null output");
+        if (item.input.size() != nz_)
+            throw std::invalid_argument(
+                "RealFft::forward_batch: input size mismatch");
+        if (!item.window.empty() && item.window.size() != nz_)
+            throw std::invalid_argument(
+                "RealFft::forward_batch: window size mismatch");
+    }
+    if (B == 1 || !batchable()) {
+        // Degenerate batch / odd N / non-power-of-two half: the sequential
+        // schedule *is* the batched schedule (kFloat32 falls back to full
+        // double precision -- strictly inside any error budget).
+        for (const BatchItem& item : items)
+            transform(item.input,
+                      item.window.empty() ? nullptr : item.window.data(),
+                      *item.out, scratch);
+        return;
+    }
+
+    const std::size_t h = n_ / 2;
+    const kernels::Pow2Kernel& half = *half_plan_->pow2_kernel();
+    if (precision == BatchPrecision::kFloat32) {
+        ensure_plane(scratch.fre, h * B);
+        ensure_plane(scratch.fim, h * B);
+        ensure_plane(scratch.fwre, h * B);
+        ensure_plane(scratch.fwim, h * B);
+        r2c_batch_pass<float>(items, half, nz_, packed_nz_, h, twr_.data(),
+                              twi_.data(), scratch.fre.data(),
+                              scratch.fim.data(), scratch.fwre.data(),
+                              scratch.fwim.data());
+        return;
+    }
+    ensure_plane(scratch.qre, h * B);
+    ensure_plane(scratch.qim, h * B);
+    ensure_plane(scratch.wre, h * B);
+    ensure_plane(scratch.wim, h * B);
+    r2c_batch_pass<double>(items, half, nz_, packed_nz_, h, twr_.data(),
+                           twi_.data(), scratch.qre.data(), scratch.qim.data(),
+                           scratch.wre.data(), scratch.wim.data());
+}
+
+void RealFft::forward_batch(std::span<const BatchItem> items,
+                            FftScratch& scratch,
+                            BatchPrecision precision) const {
+    transform_batch(items, scratch, precision);
+}
+
+void RealFft::forward_windowed_batch(std::span<const BatchItem> items,
+                                     FftScratch& scratch,
+                                     BatchPrecision precision) const {
+    for (const BatchItem& item : items)
+        if (item.window.size() != nz_)
+            throw std::invalid_argument(
+                "RealFft::forward_windowed_batch: window mismatch");
+    transform_batch(items, scratch, precision);
 }
 
 void RealFft::forward(std::span<const double> input, std::vector<cplx>& out,

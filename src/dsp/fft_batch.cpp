@@ -1,0 +1,35 @@
+#include "dsp/fft_batch.hpp"
+
+namespace witrack::dsp {
+
+void FftBatch::enqueue(const RealFft& plan, std::span<const double> input,
+                       std::span<const double> window, std::vector<cplx>& out) {
+    items_.push_back({&plan, {input, window, &out}, false});
+}
+
+std::size_t FftBatch::run(FftScratch& scratch, BatchPrecision precision) {
+    std::size_t batched = 0;
+    // Stable O(n^2) grouping scan: n is the number of transforms staged in
+    // one scheduling round (sessions x antennas, typically tens), and the
+    // common case is one or two distinct shapes, so the scan is noise next
+    // to the transforms themselves.
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].done) continue;
+        const RealFft& plan = *items_[i].plan;
+        group_.clear();
+        group_.push_back(items_[i].work);
+        items_[i].done = true;
+        for (std::size_t j = i + 1; j < items_.size(); ++j) {
+            if (items_[j].done) continue;
+            if (!plan.batch_compatible(*items_[j].plan)) continue;
+            group_.push_back(items_[j].work);
+            items_[j].done = true;
+        }
+        plan.forward_batch(group_, scratch, precision);
+        if (group_.size() >= 2 && plan.batchable()) batched += group_.size();
+    }
+    items_.clear();
+    return batched;
+}
+
+}  // namespace witrack::dsp

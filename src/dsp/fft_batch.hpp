@@ -1,0 +1,57 @@
+// Deferred r2c transform collector: pipeline stages *stage* their range
+// FFTs into an FftBatch instead of executing them inline, and a later
+// run() groups every staged transform that shares a plan shape into one
+// lane-interleaved BatchKernel pass (see fft_kernels.hpp). This is how
+// EngineHost amortizes twiddle loads across the per-antenna transforms of
+// one frame AND across the ready sessions of one scheduling round: every
+// session's sweeps of one shape land in the same group.
+//
+// Execution is bit-identical to running each transform sequentially
+// (kFloat64 batches perform the same IEEE-754 operations per member), so
+// staging through a batch is observationally equivalent to the serial
+// per-session path -- asserted by tests/test_fleet.cpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace witrack::dsp {
+
+class FftBatch {
+  public:
+    /// Stage one transform: `plan.forward(input, out)` -- or the fused
+    /// windowed form when `window` is non-empty -- to be executed by the
+    /// next run(). `plan`, the spans' storage and `out` must stay valid
+    /// (and un-resized) until then; outputs are written only by run().
+    void enqueue(const RealFft& plan, std::span<const double> input,
+                 std::span<const double> window, std::vector<cplx>& out);
+
+    /// Transforms staged and not yet executed.
+    std::size_t pending() const { return items_.size(); }
+
+    /// Execute every staged transform, grouping same-shape plans into
+    /// lane-interleaved batch passes, then clear the queue. Returns the
+    /// number of transforms that ran inside a true batch pass of B >= 2
+    /// (telemetry: 0 means every staged transform fell back to the
+    /// sequential schedule).
+    std::size_t run(FftScratch& scratch,
+                    BatchPrecision precision = BatchPrecision::kFloat64);
+
+    /// Drop staged work without executing it (e.g. when the frame that
+    /// staged it is being abandoned).
+    void clear() { items_.clear(); }
+
+  private:
+    struct Item {
+        const RealFft* plan;
+        RealFft::BatchItem work;
+        bool done;
+    };
+    std::vector<Item> items_;
+    std::vector<RealFft::BatchItem> group_;  ///< reused per run()
+};
+
+}  // namespace witrack::dsp

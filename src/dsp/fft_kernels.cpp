@@ -1,9 +1,10 @@
 #include "dsp/fft_kernels.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <utility>
+
+#include "dsp/fft_kernels_impl.hpp"
+#include "dsp/simd.hpp"
 
 namespace witrack::dsp::kernels {
 
@@ -13,7 +14,7 @@ namespace witrack::dsp::kernels {
 // destination plane, ping-ponging between the data and work planes. There
 // is no bit-reversal permutation, every inner q-loop walks contiguous
 // memory, and the twiddle factor depends only on p -- exactly the shape
-// -O3 auto-vectorizes.
+// the lane templates in fft_kernels_impl.hpp vectorize explicitly.
 //
 // Pruning bookkeeping: a nonzero input prefix [0, nzb) stays a *contiguous*
 // prefix under this stage ordering. With thresholds t_k = clamp(nzb - k*n/4,
@@ -61,280 +62,105 @@ Pow2Kernel::Pow2Kernel(std::size_t n, std::size_t n_nonzero) : n_(n) {
     if (sub == 2) stages_.push_back({2, n_ / 2, 1, tw_.size()});
 }
 
+namespace detail {
+
+// Scalar level: always available, and the tail lane of every vector loop.
+
+void forward_scalar(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                    double* wi, std::size_t nzb) {
+    run_forward_t<simd::ScalarD>(plan, xr, xi, wr, wi, nzb);
+}
+
+void inverse_scalar(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                    double* wi) {
+    run_inverse_t<simd::ScalarD>(plan, xr, xi, wr, wi);
+}
+
+void forward_batch_scalar(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                          double* xi, double* wr, double* wi) {
+    run_forward_batch_t<simd::ScalarD>(plan, batch, xr, xi, wr, wi);
+}
+
+void forward_batch_f32_scalar(const Pow2Kernel& plan, std::size_t batch,
+                              float* xr, float* xi, float* wr, float* wi) {
+    run_forward_batch_t<simd::ScalarF>(plan, batch, xr, xi, wr, wi);
+}
+
+}  // namespace detail
+
 namespace {
 
-/// ceil(t / s); exact division everywhere the pruning invariant holds.
-inline std::size_t ceil_div(std::size_t t, std::size_t s) {
-    return (t + s - 1) / s;
+// Runtime dispatch. simd::active() never exceeds simd::detect(), so the
+// sse2/avx2 entry points are only reached on hardware that supports them
+// (the per-ISA translation units degrade to the next level down when the
+// *build* lacks the ISA entirely, e.g. a non-x86 target).
+
+void dispatch_forward(const Pow2Kernel& plan, double* xr, double* xi,
+                      double* wr, double* wi, std::size_t nzb) {
+    switch (simd::active()) {
+        case simd::Level::kAvx2:
+            detail::forward_avx2(plan, xr, xi, wr, wi, nzb);
+            return;
+        case simd::Level::kSse2:
+            detail::forward_sse2(plan, xr, xi, wr, wi, nzb);
+            return;
+        case simd::Level::kScalar: break;
+    }
+    detail::forward_scalar(plan, xr, xi, wr, wi, nzb);
 }
 
 }  // namespace
 
-void Pow2Kernel::run_forward(double* xr, double* xi, double* wr, double* wi,
-                             std::size_t nzb) const {
-    double* sr = xr;
-    double* si = xi;
-    double* dr = wr;
-    double* di = wi;
-    if (stages_.size() % 2 == 1) {
-        // Odd stage count: start from the work planes so the final stage
-        // lands the result in (xr, xi). Only the live prefix needs copying.
-        std::copy(xr, xr + nzb, wr);
-        std::copy(xi, xi + nzb, wi);
-        sr = wr;
-        si = wi;
-        dr = xr;
-        di = xi;
-    }
-
-    const std::size_t n4 = n_ / 4;
-    for (const Stage& st : stages_) {
-        const std::size_t s = st.stride;
-        if (st.radix == 2) {
-            // Final fixup stage: sub_n = 2, one butterfly per q, twiddle 1.
-            const std::size_t h = n_ / 2;
-            const std::size_t t0 = std::min(nzb, h);
-            const std::size_t t1 = nzb > h ? nzb - h : 0;
-            for (std::size_t q = 0; q < t1; ++q) {
-                const double ar = sr[q], ai = si[q];
-                const double br = sr[q + h], bi = si[q + h];
-                dr[q] = ar + br;
-                di[q] = ai + bi;
-                dr[q + h] = ar - br;
-                di[q + h] = ai - bi;
-            }
-            for (std::size_t q = t1; q < t0; ++q) {
-                const double ar = sr[q], ai = si[q];
-                dr[q] = ar;
-                di[q] = ai;
-                dr[q + h] = ar;
-                di[q + h] = ai;
-            }
-            nzb = t0 > 0 ? n_ : 0;
-            std::swap(sr, dr);
-            std::swap(si, di);
-            continue;
-        }
-
-        const std::size_t m = st.m;
-        const double* w1r = tw_.data() + st.tw_offset;
-        const double* w1i = w1r + m;
-        const double* w2r = w1i + m;
-        const double* w2i = w2r + m;
-        const double* w3r = w2i + m;
-        const double* w3i = w3r + m;
-
-        // Region boundaries in p for 4/3/2/1 live operands.
-        std::size_t t[4];
-        for (std::size_t k = 0; k < 4; ++k) {
-            const std::size_t cut = k * n4;
-            std::size_t tk = nzb > cut ? nzb - cut : 0;
-            t[k] = std::min(tk, n4);
-        }
-        const std::size_t p0 = ceil_div(t[0], s);
-        const std::size_t p1 = ceil_div(t[1], s);
-        const std::size_t p2 = ceil_div(t[2], s);
-        const std::size_t p3 = ceil_div(t[3], s);
-
-        for (std::size_t p = 0; p < p3; ++p) {  // all four operands live
-            const double u1r = w1r[p], u1i = w1i[p];
-            const double u2r = w2r[p], u2i = w2i[p];
-            const double u3r = w3r[p], u3i = w3i[p];
-            const double* x0r = sr + s * p;
-            const double* x0i = si + s * p;
-            double* y0r = dr + 4 * s * p;
-            double* y0i = di + 4 * s * p;
-            for (std::size_t q = 0; q < s; ++q) {
-                const double ar = x0r[q], ai = x0i[q];
-                const double br = x0r[q + n4], bi = x0i[q + n4];
-                const double cr = x0r[q + 2 * n4], ci = x0i[q + 2 * n4];
-                const double er = x0r[q + 3 * n4], ei = x0i[q + 3 * n4];
-                const double apcr = ar + cr, apci = ai + ci;
-                const double amcr = ar - cr, amci = ai - ci;
-                const double bpdr = br + er, bpdi = bi + ei;
-                const double jr = ei - bi, ji = br - er;  // i*(b - d)
-                y0r[q] = apcr + bpdr;
-                y0i[q] = apci + bpdi;
-                const double t1r = amcr - jr, t1i = amci - ji;
-                y0r[q + s] = u1r * t1r - u1i * t1i;
-                y0i[q + s] = u1r * t1i + u1i * t1r;
-                const double t2r = apcr - bpdr, t2i = apci - bpdi;
-                y0r[q + 2 * s] = u2r * t2r - u2i * t2i;
-                y0i[q + 2 * s] = u2r * t2i + u2i * t2r;
-                const double t3r = amcr + jr, t3i = amci + ji;
-                y0r[q + 3 * s] = u3r * t3r - u3i * t3i;
-                y0i[q + 3 * s] = u3r * t3i + u3i * t3r;
-            }
-        }
-        for (std::size_t p = p3; p < p2; ++p) {  // d structurally zero
-            const double u1r = w1r[p], u1i = w1i[p];
-            const double u2r = w2r[p], u2i = w2i[p];
-            const double u3r = w3r[p], u3i = w3i[p];
-            const double* x0r = sr + s * p;
-            const double* x0i = si + s * p;
-            double* y0r = dr + 4 * s * p;
-            double* y0i = di + 4 * s * p;
-            for (std::size_t q = 0; q < s; ++q) {
-                const double ar = x0r[q], ai = x0i[q];
-                const double br = x0r[q + n4], bi = x0i[q + n4];
-                const double cr = x0r[q + 2 * n4], ci = x0i[q + 2 * n4];
-                const double apcr = ar + cr, apci = ai + ci;
-                const double amcr = ar - cr, amci = ai - ci;
-                const double jr = -bi, ji = br;  // i*b
-                y0r[q] = apcr + br;
-                y0i[q] = apci + bi;
-                const double t1r = amcr - jr, t1i = amci - ji;
-                y0r[q + s] = u1r * t1r - u1i * t1i;
-                y0i[q + s] = u1r * t1i + u1i * t1r;
-                const double t2r = apcr - br, t2i = apci - bi;
-                y0r[q + 2 * s] = u2r * t2r - u2i * t2i;
-                y0i[q + 2 * s] = u2r * t2i + u2i * t2r;
-                const double t3r = amcr + jr, t3i = amci + ji;
-                y0r[q + 3 * s] = u3r * t3r - u3i * t3i;
-                y0i[q + 3 * s] = u3r * t3i + u3i * t3r;
-            }
-        }
-        for (std::size_t p = p2; p < p1; ++p) {  // c and d structurally zero
-            const double u1r = w1r[p], u1i = w1i[p];
-            const double u2r = w2r[p], u2i = w2i[p];
-            const double u3r = w3r[p], u3i = w3i[p];
-            const double* x0r = sr + s * p;
-            const double* x0i = si + s * p;
-            double* y0r = dr + 4 * s * p;
-            double* y0i = di + 4 * s * p;
-            for (std::size_t q = 0; q < s; ++q) {
-                const double ar = x0r[q], ai = x0i[q];
-                const double br = x0r[q + n4], bi = x0i[q + n4];
-                y0r[q] = ar + br;
-                y0i[q] = ai + bi;
-                const double t1r = ar + bi, t1i = ai - br;  // a - i*b
-                y0r[q + s] = u1r * t1r - u1i * t1i;
-                y0i[q + s] = u1r * t1i + u1i * t1r;
-                const double t2r = ar - br, t2i = ai - bi;
-                y0r[q + 2 * s] = u2r * t2r - u2i * t2i;
-                y0i[q + 2 * s] = u2r * t2i + u2i * t2r;
-                const double t3r = ar - bi, t3i = ai + br;  // a + i*b
-                y0r[q + 3 * s] = u3r * t3r - u3i * t3i;
-                y0i[q + 3 * s] = u3r * t3i + u3i * t3r;
-            }
-        }
-        for (std::size_t p = p1; p < p0; ++p) {  // only a live
-            const double u1r = w1r[p], u1i = w1i[p];
-            const double u2r = w2r[p], u2i = w2i[p];
-            const double u3r = w3r[p], u3i = w3i[p];
-            const double* x0r = sr + s * p;
-            const double* x0i = si + s * p;
-            double* y0r = dr + 4 * s * p;
-            double* y0i = di + 4 * s * p;
-            for (std::size_t q = 0; q < s; ++q) {
-                const double ar = x0r[q], ai = x0i[q];
-                y0r[q] = ar;
-                y0i[q] = ai;
-                y0r[q + s] = u1r * ar - u1i * ai;
-                y0i[q + s] = u1r * ai + u1i * ar;
-                y0r[q + 2 * s] = u2r * ar - u2i * ai;
-                y0i[q + 2 * s] = u2r * ai + u2i * ar;
-                y0r[q + 3 * s] = u3r * ar - u3i * ai;
-                y0i[q + 3 * s] = u3r * ai + u3i * ar;
-            }
-        }
-        // p >= p0: both source and destination are structurally zero; the
-        // untouched destination range is never read back (later stages'
-        // bounds exclude it).
-        nzb = 4 * s * p0;
-        std::swap(sr, dr);
-        std::swap(si, di);
-    }
-}
-
 void Pow2Kernel::forward(double* xr, double* xi, double* wr, double* wi) const {
-    run_forward(xr, xi, wr, wi, nz_);
+    dispatch_forward(*this, xr, xi, wr, wi, nz_);
 }
 
 void Pow2Kernel::forward_dense(double* xr, double* xi, double* wr,
                                double* wi) const {
-    run_forward(xr, xi, wr, wi, n_);
+    dispatch_forward(*this, xr, xi, wr, wi, n_);
 }
 
 void Pow2Kernel::inverse(double* xr, double* xi, double* wr, double* wi) const {
-    double* sr = xr;
-    double* si = xi;
-    double* dr = wr;
-    double* di = wi;
-    if (stages_.size() % 2 == 1) {
-        std::copy(xr, xr + n_, wr);
-        std::copy(xi, xi + n_, wi);
-        sr = wr;
-        si = wi;
-        dr = xr;
-        di = xi;
+    switch (simd::active()) {
+        case simd::Level::kAvx2:
+            detail::inverse_avx2(*this, xr, xi, wr, wi);
+            return;
+        case simd::Level::kSse2:
+            detail::inverse_sse2(*this, xr, xi, wr, wi);
+            return;
+        case simd::Level::kScalar: break;
     }
+    detail::inverse_scalar(*this, xr, xi, wr, wi);
+}
 
-    const std::size_t n4 = n_ / 4;
-    for (const Stage& st : stages_) {
-        const std::size_t s = st.stride;
-        if (st.radix == 2) {
-            const std::size_t h = n_ / 2;
-            for (std::size_t q = 0; q < h; ++q) {
-                const double ar = sr[q], ai = si[q];
-                const double br = sr[q + h], bi = si[q + h];
-                dr[q] = ar + br;
-                di[q] = ai + bi;
-                dr[q + h] = ar - br;
-                di[q + h] = ai - bi;
-            }
-            std::swap(sr, dr);
-            std::swap(si, di);
-            continue;
-        }
-        const std::size_t m = st.m;
-        const double* w1r = tw_.data() + st.tw_offset;
-        const double* w1i = w1r + m;
-        const double* w2r = w1i + m;
-        const double* w2i = w2r + m;
-        const double* w3r = w2i + m;
-        const double* w3i = w3r + m;
-        for (std::size_t p = 0; p < m; ++p) {
-            // Conjugated twiddles and +i rotation, signs folded into the
-            // expressions -- no branch, no conj call.
-            const double u1r = w1r[p], u1i = w1i[p];
-            const double u2r = w2r[p], u2i = w2i[p];
-            const double u3r = w3r[p], u3i = w3i[p];
-            const double* x0r = sr + s * p;
-            const double* x0i = si + s * p;
-            double* y0r = dr + 4 * s * p;
-            double* y0i = di + 4 * s * p;
-            for (std::size_t q = 0; q < s; ++q) {
-                const double ar = x0r[q], ai = x0i[q];
-                const double br = x0r[q + n4], bi = x0i[q + n4];
-                const double cr = x0r[q + 2 * n4], ci = x0i[q + 2 * n4];
-                const double er = x0r[q + 3 * n4], ei = x0i[q + 3 * n4];
-                const double apcr = ar + cr, apci = ai + ci;
-                const double amcr = ar - cr, amci = ai - ci;
-                const double bpdr = br + er, bpdi = bi + ei;
-                const double jr = ei - bi, ji = br - er;  // i*(b - d)
-                y0r[q] = apcr + bpdr;
-                y0i[q] = apci + bpdi;
-                const double t1r = amcr + jr, t1i = amci + ji;
-                y0r[q + s] = u1r * t1r + u1i * t1i;
-                y0i[q + s] = u1r * t1i - u1i * t1r;
-                const double t2r = apcr - bpdr, t2i = apci - bpdi;
-                y0r[q + 2 * s] = u2r * t2r + u2i * t2i;
-                y0i[q + 2 * s] = u2r * t2i - u2i * t2r;
-                const double t3r = amcr - jr, t3i = amci - ji;
-                y0r[q + 3 * s] = u3r * t3r + u3i * t3i;
-                y0i[q + 3 * s] = u3r * t3i - u3i * t3r;
-            }
-        }
-        std::swap(sr, dr);
-        std::swap(si, di);
+void BatchKernel::forward(std::size_t batch, double* xr, double* xi, double* wr,
+                          double* wi) const {
+    if (batch == 0) return;
+    switch (simd::active()) {
+        case simd::Level::kAvx2:
+            detail::forward_batch_avx2(*plan_, batch, xr, xi, wr, wi);
+            return;
+        case simd::Level::kSse2:
+            detail::forward_batch_sse2(*plan_, batch, xr, xi, wr, wi);
+            return;
+        case simd::Level::kScalar: break;
     }
+    detail::forward_batch_scalar(*plan_, batch, xr, xi, wr, wi);
+}
 
-    const double scale = 1.0 / static_cast<double>(n_);
-    for (std::size_t i = 0; i < n_; ++i) {
-        xr[i] *= scale;
-        xi[i] *= scale;
+void BatchKernel::forward(std::size_t batch, float* xr, float* xi, float* wr,
+                          float* wi) const {
+    if (batch == 0) return;
+    switch (simd::active()) {
+        case simd::Level::kAvx2:
+            detail::forward_batch_f32_avx2(*plan_, batch, xr, xi, wr, wi);
+            return;
+        case simd::Level::kSse2:
+            detail::forward_batch_f32_sse2(*plan_, batch, xr, xi, wr, wi);
+            return;
+        case simd::Level::kScalar: break;
     }
+    detail::forward_batch_f32_scalar(*plan_, batch, xr, xi, wr, wi);
 }
 
 }  // namespace witrack::dsp::kernels

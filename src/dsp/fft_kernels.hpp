@@ -2,8 +2,10 @@
 // planes), iterative Stockham radix-4 with a radix-2 fixup stage, per-stage
 // sequentially-laid-out twiddle tables, and *separate* forward/inverse
 // butterfly loops (no direction branch and no conj inside the hot loop).
-// Everything is plain scalar C++ laid out so g++ -O3 auto-vectorizes the
-// inner loops; no intrinsics, no dependencies.
+// The butterfly loops are written once as lane templates over the SIMD
+// layer in simd.hpp (fft_kernels_impl.hpp) and instantiated per ISA --
+// scalar, SSE2, AVX2 -- with a runtime-dispatched entry point, so one plan
+// serves every dispatch level with bit-identical results.
 //
 // Input pruning: a kernel built with n_nonzero < n treats the input tail
 // [n_nonzero, n) as structurally zero and skips the early-stage butterflies
@@ -20,6 +22,16 @@
 #include <vector>
 
 namespace witrack::dsp::kernels {
+
+/// One stage of the iterative plan. Public (rather than a Pow2Kernel
+/// private) so the per-ISA butterfly translation units can walk the plan;
+/// see fft_kernels_impl.hpp.
+struct FftStage {
+    std::size_t radix;      ///< 4, or 2 for the final fixup stage
+    std::size_t stride;     ///< s: n / sub_n for this stage
+    std::size_t m;          ///< butterflies per sub-transform (sub_n/radix)
+    std::size_t tw_offset;  ///< start of this stage's table in twiddles()
+};
 
 class Pow2Kernel {
   public:
@@ -52,20 +64,15 @@ class Pow2Kernel {
         return n != 0 && (n & (n - 1)) == 0;
     }
 
+    /// The stage sequence and twiddle storage, exposed read-only for the
+    /// per-ISA kernel translation units and the BatchKernel view.
+    const std::vector<FftStage>& plan_stages() const { return stages_; }
+    const std::vector<double>& twiddles() const { return tw_; }
+
   private:
-    struct Stage {
-        std::size_t radix;      ///< 4, or 2 for the final fixup stage
-        std::size_t stride;     ///< s: n / sub_n for this stage
-        std::size_t m;          ///< butterflies per sub-transform (sub_n/radix)
-        std::size_t tw_offset;  ///< start of this stage's table in tw_
-    };
-
-    void run_forward(double* xr, double* xi, double* wr, double* wi,
-                     std::size_t nzb) const;
-
     std::size_t n_ = 0;
     std::size_t nz_ = 0;
-    std::vector<Stage> stages_;
+    std::vector<FftStage> stages_;
     // Forward twiddles, sequential per stage. A radix-4 stage with m
     // butterflies stores six contiguous runs of m doubles:
     //   [w1.re | w1.im | w2.re | w2.im | w3.re | w3.im],
@@ -74,6 +81,42 @@ class Pow2Kernel {
     // table (its only twiddle is 1). Inverse kernels reuse the same tables
     // with the imaginary sign folded into their butterfly expressions.
     std::vector<double> tw_;
+};
+
+/// Runs B same-shape forward transforms over one shared Pow2Kernel plan as
+/// lane-interleaved SoA planes: element i of batch member b lives at index
+/// [i * B + b], so each butterfly's operands across the whole batch are
+/// contiguous and one (broadcast) twiddle load serves all B members. A
+/// BatchKernel is a *view* over the shared plan -- no tables are copied, so
+/// batched execution of any B collapses onto the single-transform cache
+/// entry (see FftPlanCache), and a degenerate B = 1 batch is simply the
+/// sequential schedule.
+///
+/// Every batch member's result is bit-identical to a sequential
+/// Pow2Kernel::forward of that member: the lane-interleaved schedule
+/// performs exactly the same IEEE-754 operations per output element.
+class BatchKernel {
+  public:
+    explicit BatchKernel(const Pow2Kernel& plan) : plan_(&plan) {}
+
+    const Pow2Kernel& plan() const { return *plan_; }
+
+    /// Forward DFT of all `batch` members. Each plane holds
+    /// plan().size() * batch doubles, lane-interleaved; (wr, wi) are
+    /// caller-owned ping-pong work planes of the same length. The plan's
+    /// input pruning applies to every member identically.
+    void forward(std::size_t batch, double* xr, double* xi, double* wr,
+                 double* wi) const;
+
+    /// Float32 lane: the same schedule in single precision, twiddles
+    /// narrowed per butterfly. Roughly half the memory traffic at ~1e-6
+    /// relative error -- for consumers gated on a measured error budget,
+    /// never for the bit-parity paths.
+    void forward(std::size_t batch, float* xr, float* xi, float* wr,
+                 float* wi) const;
+
+  private:
+    const Pow2Kernel* plan_;
 };
 
 }  // namespace witrack::dsp::kernels

@@ -1,0 +1,57 @@
+// AVX2 (256-bit) instantiations of the lane-templated butterfly loops.
+// This is the only translation unit compiled with -mavx2 (x86 builds; see
+// CMakeLists.txt) -- dispatch guarantees its entry points are reached only
+// after __builtin_cpu_supports("avx2") succeeded. It is deliberately also
+// built with -ffp-contract=off like the other kernel TUs, so no FMA is
+// emitted and the AVX2 level stays bit-identical to sse2/scalar.
+#include "dsp/fft_kernels_impl.hpp"
+
+namespace witrack::dsp::kernels::detail {
+
+#if defined(__AVX2__)
+
+void forward_avx2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi, std::size_t nzb) {
+    run_forward_t<simd::AvxD>(plan, xr, xi, wr, wi, nzb);
+}
+
+void inverse_avx2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi) {
+    run_inverse_t<simd::AvxD>(plan, xr, xi, wr, wi);
+}
+
+void forward_batch_avx2(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                        double* xi, double* wr, double* wi) {
+    run_forward_batch_t<simd::AvxD>(plan, batch, xr, xi, wr, wi);
+}
+
+void forward_batch_f32_avx2(const Pow2Kernel& plan, std::size_t batch,
+                            float* xr, float* xi, float* wr, float* wi) {
+    run_forward_batch_t<simd::AvxF>(plan, batch, xr, xi, wr, wi);
+}
+
+#else  // !__AVX2__
+
+void forward_avx2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi, std::size_t nzb) {
+    forward_sse2(plan, xr, xi, wr, wi, nzb);
+}
+
+void inverse_avx2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi) {
+    inverse_sse2(plan, xr, xi, wr, wi);
+}
+
+void forward_batch_avx2(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                        double* xi, double* wr, double* wi) {
+    forward_batch_sse2(plan, batch, xr, xi, wr, wi);
+}
+
+void forward_batch_f32_avx2(const Pow2Kernel& plan, std::size_t batch,
+                            float* xr, float* xi, float* wr, float* wi) {
+    forward_batch_f32_sse2(plan, batch, xr, xi, wr, wi);
+}
+
+#endif  // __AVX2__
+
+}  // namespace witrack::dsp::kernels::detail

@@ -1,0 +1,619 @@
+// Lane-templated butterfly loops shared by every dispatch level of the
+// Pow2Kernel engine. The transform schedule, the pruning bookkeeping and
+// every arithmetic expression here are the scalar kernels of PR 5 ported
+// verbatim onto the simd.hpp lane vocabulary: a lane performs the same
+// IEEE-754 add/sub/mul per element as the scalar code (no FMA -- the
+// kernel translation units are additionally built with -ffp-contract=off
+// so the compiler cannot contract on wider -march targets), which is what
+// makes all dispatch levels, and batched vs. sequential execution,
+// bit-identical.
+//
+// Two vectorization axes:
+//   - run_forward_t / run_inverse_t (single transform): vectorize the
+//     contiguous q loop inside each butterfly group. Early stages have
+//     stride s < width and fall through to the scalar tail -- the batch
+//     kernel below is the shape that vectorizes every stage fully.
+//   - run_forward_batch_t (BatchKernel): B same-shape transforms stored
+//     lane-interleaved (element i of member b at [i*B + b]). For a fixed
+//     butterfly group p the whole (q, b) plane is one contiguous run of
+//     s*B elements whose operand offsets (n4*B) and output offsets (k*s*B)
+//     are constant and whose twiddle depends only on p, so each group is a
+//     single streaming lane_loop of length s*B -- fully vectorized at
+//     every stage for every B >= 1, unlike the single-transform kernel
+//     whose late stages have s < width.
+//
+// This header is included by the per-ISA translation units
+// (fft_kernels.cpp, fft_kernels_sse2.cpp, fft_kernels_avx2.cpp), each of
+// which instantiates the templates with its lane and exposes the plain
+// entry points declared at the bottom; dispatch lives in fft_kernels.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "dsp/fft_kernels.hpp"
+#include "dsp/simd.hpp"
+
+namespace witrack::dsp::kernels::detail {
+
+/// ceil(t / s); exact division everywhere the pruning invariant holds.
+inline std::size_t ceil_div(std::size_t t, std::size_t s) {
+    return (t + s - 1) / s;
+}
+
+/// Vector-main + scalar-tail driver: runs `body` over [0, count) with lane
+/// L for the aligned span and the width-1 lane of the same element type
+/// for the remainder. `body` is a generic lambda invoked as body<V>(i).
+template <class L, class Body>
+inline void lane_loop(std::size_t count, Body&& body) {
+    using S = simd::Scalar<typename L::elem>;
+    std::size_t i = 0;
+    if constexpr (L::width > 1) {
+        for (; i + L::width <= count; i += L::width)
+            body.template operator()<L>(i);
+    }
+    for (; i < count; ++i) body.template operator()<S>(i);
+}
+
+// -------------------------------------------------- single transform
+
+template <class L>
+void run_forward_t(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                   double* wi, std::size_t nzb) {
+    const std::size_t n = plan.size();
+    const auto& stages = plan.plan_stages();
+    const double* tw = plan.twiddles().data();
+
+    double* sr = xr;
+    double* si = xi;
+    double* dr = wr;
+    double* di = wi;
+    if (stages.size() % 2 == 1) {
+        // Odd stage count: start from the work planes so the final stage
+        // lands the result in (xr, xi). Only the live prefix needs copying.
+        std::copy(xr, xr + nzb, wr);
+        std::copy(xi, xi + nzb, wi);
+        sr = wr;
+        si = wi;
+        dr = xr;
+        di = xi;
+    }
+
+    const std::size_t n4 = n / 4;
+    for (const FftStage& st : stages) {
+        const std::size_t s = st.stride;
+        if (st.radix == 2) {
+            // Final fixup stage: sub_n = 2, one butterfly per q, twiddle 1.
+            const std::size_t h = n / 2;
+            const std::size_t t0 = std::min(nzb, h);
+            const std::size_t t1 = nzb > h ? nzb - h : 0;
+            lane_loop<L>(t1, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(sr + q), ai = V::load(si + q);
+                const auto br = V::load(sr + q + h), bi = V::load(si + q + h);
+                V::store(dr + q, V::add(ar, br));
+                V::store(di + q, V::add(ai, bi));
+                V::store(dr + q + h, V::sub(ar, br));
+                V::store(di + q + h, V::sub(ai, bi));
+            });
+            for (std::size_t q = t1; q < t0; ++q) {  // b structurally zero
+                const double ar = sr[q], ai = si[q];
+                dr[q] = ar;
+                di[q] = ai;
+                dr[q + h] = ar;
+                di[q + h] = ai;
+            }
+            nzb = t0 > 0 ? n : 0;
+            std::swap(sr, dr);
+            std::swap(si, di);
+            continue;
+        }
+
+        const std::size_t m = st.m;
+        const double* w1r = tw + st.tw_offset;
+        const double* w1i = w1r + m;
+        const double* w2r = w1i + m;
+        const double* w2i = w2r + m;
+        const double* w3r = w2i + m;
+        const double* w3i = w3r + m;
+
+        // Region boundaries in p for 4/3/2/1 live operands.
+        std::size_t t[4];
+        for (std::size_t k = 0; k < 4; ++k) {
+            const std::size_t cut = k * n4;
+            const std::size_t tk = nzb > cut ? nzb - cut : 0;
+            t[k] = std::min(tk, n4);
+        }
+        const std::size_t p0 = ceil_div(t[0], s);
+        const std::size_t p1 = ceil_div(t[1], s);
+        const std::size_t p2 = ceil_div(t[2], s);
+        const std::size_t p3 = ceil_div(t[3], s);
+
+        for (std::size_t p = 0; p < p3; ++p) {  // all four operands live
+            const double* x0r = sr + s * p;
+            const double* x0i = si + s * p;
+            double* y0r = dr + 4 * s * p;
+            double* y0i = di + 4 * s * p;
+            lane_loop<L>(s, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(x0r + q), ai = V::load(x0i + q);
+                const auto br = V::load(x0r + q + n4), bi = V::load(x0i + q + n4);
+                const auto cr = V::load(x0r + q + 2 * n4);
+                const auto ci = V::load(x0i + q + 2 * n4);
+                const auto er = V::load(x0r + q + 3 * n4);
+                const auto ei = V::load(x0i + q + 3 * n4);
+                const auto apcr = V::add(ar, cr), apci = V::add(ai, ci);
+                const auto amcr = V::sub(ar, cr), amci = V::sub(ai, ci);
+                const auto bpdr = V::add(br, er), bpdi = V::add(bi, ei);
+                const auto jr = V::sub(ei, bi), ji = V::sub(br, er);  // i*(b-d)
+                V::store(y0r + q, V::add(apcr, bpdr));
+                V::store(y0i + q, V::add(apci, bpdi));
+                const auto u1r = V::set1(w1r[p]), u1i = V::set1(w1i[p]);
+                const auto t1r = V::sub(amcr, jr), t1i = V::sub(amci, ji);
+                V::store(y0r + q + s, V::sub(V::mul(u1r, t1r), V::mul(u1i, t1i)));
+                V::store(y0i + q + s, V::add(V::mul(u1r, t1i), V::mul(u1i, t1r)));
+                const auto u2r = V::set1(w2r[p]), u2i = V::set1(w2i[p]);
+                const auto t2r = V::sub(apcr, bpdr), t2i = V::sub(apci, bpdi);
+                V::store(y0r + q + 2 * s,
+                         V::sub(V::mul(u2r, t2r), V::mul(u2i, t2i)));
+                V::store(y0i + q + 2 * s,
+                         V::add(V::mul(u2r, t2i), V::mul(u2i, t2r)));
+                const auto u3r = V::set1(w3r[p]), u3i = V::set1(w3i[p]);
+                const auto t3r = V::add(amcr, jr), t3i = V::add(amci, ji);
+                V::store(y0r + q + 3 * s,
+                         V::sub(V::mul(u3r, t3r), V::mul(u3i, t3i)));
+                V::store(y0i + q + 3 * s,
+                         V::add(V::mul(u3r, t3i), V::mul(u3i, t3r)));
+            });
+        }
+        for (std::size_t p = p3; p < p2; ++p) {  // d structurally zero
+            // The scalar source computed j = i*b as (jr, ji) = (-bi, br)
+            // and formed t1 = amc - j, t3 = amc + j; negation then
+            // subtraction is exactly addition in IEEE-754, so the folded
+            // add/sub forms below are bit-identical.
+            const double* x0r = sr + s * p;
+            const double* x0i = si + s * p;
+            double* y0r = dr + 4 * s * p;
+            double* y0i = di + 4 * s * p;
+            lane_loop<L>(s, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(x0r + q), ai = V::load(x0i + q);
+                const auto br = V::load(x0r + q + n4), bi = V::load(x0i + q + n4);
+                const auto cr = V::load(x0r + q + 2 * n4);
+                const auto ci = V::load(x0i + q + 2 * n4);
+                const auto apcr = V::add(ar, cr), apci = V::add(ai, ci);
+                const auto amcr = V::sub(ar, cr), amci = V::sub(ai, ci);
+                V::store(y0r + q, V::add(apcr, br));
+                V::store(y0i + q, V::add(apci, bi));
+                const auto u1r = V::set1(w1r[p]), u1i = V::set1(w1i[p]);
+                const auto t1r = V::add(amcr, bi), t1i = V::sub(amci, br);
+                V::store(y0r + q + s, V::sub(V::mul(u1r, t1r), V::mul(u1i, t1i)));
+                V::store(y0i + q + s, V::add(V::mul(u1r, t1i), V::mul(u1i, t1r)));
+                const auto u2r = V::set1(w2r[p]), u2i = V::set1(w2i[p]);
+                const auto t2r = V::sub(apcr, br), t2i = V::sub(apci, bi);
+                V::store(y0r + q + 2 * s,
+                         V::sub(V::mul(u2r, t2r), V::mul(u2i, t2i)));
+                V::store(y0i + q + 2 * s,
+                         V::add(V::mul(u2r, t2i), V::mul(u2i, t2r)));
+                const auto u3r = V::set1(w3r[p]), u3i = V::set1(w3i[p]);
+                const auto t3r = V::sub(amcr, bi), t3i = V::add(amci, br);
+                V::store(y0r + q + 3 * s,
+                         V::sub(V::mul(u3r, t3r), V::mul(u3i, t3i)));
+                V::store(y0i + q + 3 * s,
+                         V::add(V::mul(u3r, t3i), V::mul(u3i, t3r)));
+            });
+        }
+        for (std::size_t p = p2; p < p1; ++p) {  // c and d structurally zero
+            const double* x0r = sr + s * p;
+            const double* x0i = si + s * p;
+            double* y0r = dr + 4 * s * p;
+            double* y0i = di + 4 * s * p;
+            lane_loop<L>(s, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(x0r + q), ai = V::load(x0i + q);
+                const auto br = V::load(x0r + q + n4), bi = V::load(x0i + q + n4);
+                V::store(y0r + q, V::add(ar, br));
+                V::store(y0i + q, V::add(ai, bi));
+                const auto u1r = V::set1(w1r[p]), u1i = V::set1(w1i[p]);
+                const auto t1r = V::add(ar, bi), t1i = V::sub(ai, br);  // a-i*b
+                V::store(y0r + q + s, V::sub(V::mul(u1r, t1r), V::mul(u1i, t1i)));
+                V::store(y0i + q + s, V::add(V::mul(u1r, t1i), V::mul(u1i, t1r)));
+                const auto u2r = V::set1(w2r[p]), u2i = V::set1(w2i[p]);
+                const auto t2r = V::sub(ar, br), t2i = V::sub(ai, bi);
+                V::store(y0r + q + 2 * s,
+                         V::sub(V::mul(u2r, t2r), V::mul(u2i, t2i)));
+                V::store(y0i + q + 2 * s,
+                         V::add(V::mul(u2r, t2i), V::mul(u2i, t2r)));
+                const auto u3r = V::set1(w3r[p]), u3i = V::set1(w3i[p]);
+                const auto t3r = V::sub(ar, bi), t3i = V::add(ai, br);  // a+i*b
+                V::store(y0r + q + 3 * s,
+                         V::sub(V::mul(u3r, t3r), V::mul(u3i, t3i)));
+                V::store(y0i + q + 3 * s,
+                         V::add(V::mul(u3r, t3i), V::mul(u3i, t3r)));
+            });
+        }
+        for (std::size_t p = p1; p < p0; ++p) {  // only a live
+            const double* x0r = sr + s * p;
+            const double* x0i = si + s * p;
+            double* y0r = dr + 4 * s * p;
+            double* y0i = di + 4 * s * p;
+            lane_loop<L>(s, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(x0r + q), ai = V::load(x0i + q);
+                V::store(y0r + q, ar);
+                V::store(y0i + q, ai);
+                const auto u1r = V::set1(w1r[p]), u1i = V::set1(w1i[p]);
+                V::store(y0r + q + s, V::sub(V::mul(u1r, ar), V::mul(u1i, ai)));
+                V::store(y0i + q + s, V::add(V::mul(u1r, ai), V::mul(u1i, ar)));
+                const auto u2r = V::set1(w2r[p]), u2i = V::set1(w2i[p]);
+                V::store(y0r + q + 2 * s,
+                         V::sub(V::mul(u2r, ar), V::mul(u2i, ai)));
+                V::store(y0i + q + 2 * s,
+                         V::add(V::mul(u2r, ai), V::mul(u2i, ar)));
+                const auto u3r = V::set1(w3r[p]), u3i = V::set1(w3i[p]);
+                V::store(y0r + q + 3 * s,
+                         V::sub(V::mul(u3r, ar), V::mul(u3i, ai)));
+                V::store(y0i + q + 3 * s,
+                         V::add(V::mul(u3r, ai), V::mul(u3i, ar)));
+            });
+        }
+        // p >= p0: both source and destination are structurally zero; the
+        // untouched destination range is never read back (later stages'
+        // bounds exclude it).
+        nzb = 4 * s * p0;
+        std::swap(sr, dr);
+        std::swap(si, di);
+    }
+}
+
+template <class L>
+void run_inverse_t(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                   double* wi) {
+    const std::size_t n = plan.size();
+    const auto& stages = plan.plan_stages();
+    const double* tw = plan.twiddles().data();
+
+    double* sr = xr;
+    double* si = xi;
+    double* dr = wr;
+    double* di = wi;
+    if (stages.size() % 2 == 1) {
+        std::copy(xr, xr + n, wr);
+        std::copy(xi, xi + n, wi);
+        sr = wr;
+        si = wi;
+        dr = xr;
+        di = xi;
+    }
+
+    const std::size_t n4 = n / 4;
+    for (const FftStage& st : stages) {
+        const std::size_t s = st.stride;
+        if (st.radix == 2) {
+            const std::size_t h = n / 2;
+            lane_loop<L>(h, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(sr + q), ai = V::load(si + q);
+                const auto br = V::load(sr + q + h), bi = V::load(si + q + h);
+                V::store(dr + q, V::add(ar, br));
+                V::store(di + q, V::add(ai, bi));
+                V::store(dr + q + h, V::sub(ar, br));
+                V::store(di + q + h, V::sub(ai, bi));
+            });
+            std::swap(sr, dr);
+            std::swap(si, di);
+            continue;
+        }
+        const std::size_t m = st.m;
+        const double* w1r = tw + st.tw_offset;
+        const double* w1i = w1r + m;
+        const double* w2r = w1i + m;
+        const double* w2i = w2r + m;
+        const double* w3r = w2i + m;
+        const double* w3i = w3r + m;
+        for (std::size_t p = 0; p < m; ++p) {
+            // Conjugated twiddles and +i rotation, signs folded into the
+            // expressions -- no branch, no conj call.
+            const double* x0r = sr + s * p;
+            const double* x0i = si + s * p;
+            double* y0r = dr + 4 * s * p;
+            double* y0i = di + 4 * s * p;
+            lane_loop<L>(s, [&]<class V>(std::size_t q) {
+                const auto ar = V::load(x0r + q), ai = V::load(x0i + q);
+                const auto br = V::load(x0r + q + n4), bi = V::load(x0i + q + n4);
+                const auto cr = V::load(x0r + q + 2 * n4);
+                const auto ci = V::load(x0i + q + 2 * n4);
+                const auto er = V::load(x0r + q + 3 * n4);
+                const auto ei = V::load(x0i + q + 3 * n4);
+                const auto apcr = V::add(ar, cr), apci = V::add(ai, ci);
+                const auto amcr = V::sub(ar, cr), amci = V::sub(ai, ci);
+                const auto bpdr = V::add(br, er), bpdi = V::add(bi, ei);
+                const auto jr = V::sub(ei, bi), ji = V::sub(br, er);  // i*(b-d)
+                V::store(y0r + q, V::add(apcr, bpdr));
+                V::store(y0i + q, V::add(apci, bpdi));
+                const auto u1r = V::set1(w1r[p]), u1i = V::set1(w1i[p]);
+                const auto t1r = V::add(amcr, jr), t1i = V::add(amci, ji);
+                V::store(y0r + q + s, V::add(V::mul(u1r, t1r), V::mul(u1i, t1i)));
+                V::store(y0i + q + s, V::sub(V::mul(u1r, t1i), V::mul(u1i, t1r)));
+                const auto u2r = V::set1(w2r[p]), u2i = V::set1(w2i[p]);
+                const auto t2r = V::sub(apcr, bpdr), t2i = V::sub(apci, bpdi);
+                V::store(y0r + q + 2 * s,
+                         V::add(V::mul(u2r, t2r), V::mul(u2i, t2i)));
+                V::store(y0i + q + 2 * s,
+                         V::sub(V::mul(u2r, t2i), V::mul(u2i, t2r)));
+                const auto u3r = V::set1(w3r[p]), u3i = V::set1(w3i[p]);
+                const auto t3r = V::sub(amcr, jr), t3i = V::sub(amci, ji);
+                V::store(y0r + q + 3 * s,
+                         V::add(V::mul(u3r, t3r), V::mul(u3i, t3i)));
+                V::store(y0i + q + 3 * s,
+                         V::sub(V::mul(u3r, t3i), V::mul(u3i, t3r)));
+            });
+        }
+        std::swap(sr, dr);
+        std::swap(si, di);
+    }
+
+    const double scale = 1.0 / static_cast<double>(n);
+    lane_loop<L>(n, [&]<class V>(std::size_t i) {
+        const auto k = V::set1(scale);
+        V::store(xr + i, V::mul(V::load(xr + i), k));
+        V::store(xi + i, V::mul(V::load(xi + i), k));
+    });
+}
+
+// ------------------------------------------------------ batched transform
+
+/// B same-shape forward transforms over lane-interleaved planes (element i
+/// of member b at [i*B + b]). T is double or float; the shared twiddle
+/// tables stay double and are narrowed at broadcast time for the float
+/// lane. The pruning bookkeeping is per *element* index, identical to the
+/// single-transform schedule, because every member shares the plan's
+/// nonzero prefix.
+template <class L>
+void run_forward_batch_t(const Pow2Kernel& plan, std::size_t batch,
+                         typename L::elem* xr, typename L::elem* xi,
+                         typename L::elem* wr, typename L::elem* wi) {
+    using T = typename L::elem;
+    const std::size_t B = batch;
+    const std::size_t n = plan.size();
+    std::size_t nzb = plan.n_nonzero();
+    const auto& stages = plan.plan_stages();
+    const double* tw = plan.twiddles().data();
+
+    T* sr = xr;
+    T* si = xi;
+    T* dr = wr;
+    T* di = wi;
+    if (stages.size() % 2 == 1) {
+        std::copy(xr, xr + nzb * B, wr);
+        std::copy(xi, xi + nzb * B, wi);
+        sr = wr;
+        si = wi;
+        dr = xr;
+        di = xi;
+    }
+
+    const std::size_t n4 = n / 4;
+    for (const FftStage& st : stages) {
+        const std::size_t s = st.stride;
+        if (st.radix == 2) {
+            const std::size_t h = n / 2;
+            const std::size_t t0 = std::min(nzb, h);
+            const std::size_t t1 = nzb > h ? nzb - h : 0;
+            const std::size_t hB = h * B;
+            lane_loop<L>(t1 * B, [&]<class V>(std::size_t i) {
+                const auto ar = V::load(sr + i), ai = V::load(si + i);
+                const auto br = V::load(sr + i + hB), bi = V::load(si + i + hB);
+                V::store(dr + i, V::add(ar, br));
+                V::store(di + i, V::add(ai, bi));
+                V::store(dr + i + hB, V::sub(ar, br));
+                V::store(di + i + hB, V::sub(ai, bi));
+            });
+            if (t0 > t1) {  // b structurally zero: plain duplication
+                std::copy(sr + t1 * B, sr + t0 * B, dr + t1 * B);
+                std::copy(si + t1 * B, si + t0 * B, di + t1 * B);
+                std::copy(sr + t1 * B, sr + t0 * B, dr + t1 * B + hB);
+                std::copy(si + t1 * B, si + t0 * B, di + t1 * B + hB);
+            }
+            nzb = t0 > 0 ? n : 0;
+            std::swap(sr, dr);
+            std::swap(si, di);
+            continue;
+        }
+
+        const std::size_t m = st.m;
+        const double* w1r = tw + st.tw_offset;
+        const double* w1i = w1r + m;
+        const double* w2r = w1i + m;
+        const double* w2i = w2r + m;
+        const double* w3r = w2i + m;
+        const double* w3i = w3r + m;
+
+        std::size_t t[4];
+        for (std::size_t k = 0; k < 4; ++k) {
+            const std::size_t cut = k * n4;
+            const std::size_t tk = nzb > cut ? nzb - cut : 0;
+            t[k] = std::min(tk, n4);
+        }
+        const std::size_t p0 = ceil_div(t[0], s);
+        const std::size_t p1 = ceil_div(t[1], s);
+        const std::size_t p2 = ceil_div(t[2], s);
+        const std::size_t p3 = ceil_div(t[3], s);
+
+        // For fixed p, index (s*p + q)*B + b sweeps one contiguous run of
+        // s*B elements as (q, b) vary, operand planes sit at fixed offsets
+        // of n4*B, and the k-th output plane at 4*s*p*B + k*s*B. So each
+        // butterfly group is one streaming loop of length s*B.
+        const std::size_t sB = s * B;
+        const std::size_t n4B = n4 * B;
+        for (std::size_t p = 0; p < p3; ++p) {  // all four operands live
+            const T u1r = static_cast<T>(w1r[p]), u1i = static_cast<T>(w1i[p]);
+            const T u2r = static_cast<T>(w2r[p]), u2i = static_cast<T>(w2i[p]);
+            const T u3r = static_cast<T>(w3r[p]), u3i = static_cast<T>(w3i[p]);
+            const T* a_r = sr + p * sB;
+            const T* a_i = si + p * sB;
+            T* y0r = dr + 4 * p * sB;
+            T* y0i = di + 4 * p * sB;
+            lane_loop<L>(sB, [&]<class V>(std::size_t i) {
+                const auto ar = V::load(a_r + i), ai = V::load(a_i + i);
+                const auto br = V::load(a_r + i + n4B);
+                const auto bi = V::load(a_i + i + n4B);
+                const auto cr = V::load(a_r + i + 2 * n4B);
+                const auto ci = V::load(a_i + i + 2 * n4B);
+                const auto er = V::load(a_r + i + 3 * n4B);
+                const auto ei = V::load(a_i + i + 3 * n4B);
+                const auto apcr = V::add(ar, cr), apci = V::add(ai, ci);
+                const auto amcr = V::sub(ar, cr), amci = V::sub(ai, ci);
+                const auto bpdr = V::add(br, er), bpdi = V::add(bi, ei);
+                const auto jr = V::sub(ei, bi), ji = V::sub(br, er);
+                V::store(y0r + i, V::add(apcr, bpdr));
+                V::store(y0i + i, V::add(apci, bpdi));
+                const auto v1r = V::set1(u1r), v1i = V::set1(u1i);
+                const auto t1r = V::sub(amcr, jr), t1i = V::sub(amci, ji);
+                V::store(y0r + i + sB, V::sub(V::mul(v1r, t1r), V::mul(v1i, t1i)));
+                V::store(y0i + i + sB, V::add(V::mul(v1r, t1i), V::mul(v1i, t1r)));
+                const auto v2r = V::set1(u2r), v2i = V::set1(u2i);
+                const auto t2r = V::sub(apcr, bpdr), t2i = V::sub(apci, bpdi);
+                V::store(y0r + i + 2 * sB,
+                         V::sub(V::mul(v2r, t2r), V::mul(v2i, t2i)));
+                V::store(y0i + i + 2 * sB,
+                         V::add(V::mul(v2r, t2i), V::mul(v2i, t2r)));
+                const auto v3r = V::set1(u3r), v3i = V::set1(u3i);
+                const auto t3r = V::add(amcr, jr), t3i = V::add(amci, ji);
+                V::store(y0r + i + 3 * sB,
+                         V::sub(V::mul(v3r, t3r), V::mul(v3i, t3i)));
+                V::store(y0i + i + 3 * sB,
+                         V::add(V::mul(v3r, t3i), V::mul(v3i, t3r)));
+            });
+        }
+        for (std::size_t p = p3; p < p2; ++p) {  // d structurally zero
+            const T u1r = static_cast<T>(w1r[p]), u1i = static_cast<T>(w1i[p]);
+            const T u2r = static_cast<T>(w2r[p]), u2i = static_cast<T>(w2i[p]);
+            const T u3r = static_cast<T>(w3r[p]), u3i = static_cast<T>(w3i[p]);
+            const T* a_r = sr + p * sB;
+            const T* a_i = si + p * sB;
+            T* y0r = dr + 4 * p * sB;
+            T* y0i = di + 4 * p * sB;
+            lane_loop<L>(sB, [&]<class V>(std::size_t i) {
+                const auto ar = V::load(a_r + i), ai = V::load(a_i + i);
+                const auto br = V::load(a_r + i + n4B);
+                const auto bi = V::load(a_i + i + n4B);
+                const auto cr = V::load(a_r + i + 2 * n4B);
+                const auto ci = V::load(a_i + i + 2 * n4B);
+                const auto apcr = V::add(ar, cr), apci = V::add(ai, ci);
+                const auto amcr = V::sub(ar, cr), amci = V::sub(ai, ci);
+                V::store(y0r + i, V::add(apcr, br));
+                V::store(y0i + i, V::add(apci, bi));
+                const auto v1r = V::set1(u1r), v1i = V::set1(u1i);
+                const auto t1r = V::add(amcr, bi), t1i = V::sub(amci, br);
+                V::store(y0r + i + sB, V::sub(V::mul(v1r, t1r), V::mul(v1i, t1i)));
+                V::store(y0i + i + sB, V::add(V::mul(v1r, t1i), V::mul(v1i, t1r)));
+                const auto v2r = V::set1(u2r), v2i = V::set1(u2i);
+                const auto t2r = V::sub(apcr, br), t2i = V::sub(apci, bi);
+                V::store(y0r + i + 2 * sB,
+                         V::sub(V::mul(v2r, t2r), V::mul(v2i, t2i)));
+                V::store(y0i + i + 2 * sB,
+                         V::add(V::mul(v2r, t2i), V::mul(v2i, t2r)));
+                const auto v3r = V::set1(u3r), v3i = V::set1(u3i);
+                const auto t3r = V::sub(amcr, bi), t3i = V::add(amci, br);
+                V::store(y0r + i + 3 * sB,
+                         V::sub(V::mul(v3r, t3r), V::mul(v3i, t3i)));
+                V::store(y0i + i + 3 * sB,
+                         V::add(V::mul(v3r, t3i), V::mul(v3i, t3r)));
+            });
+        }
+        for (std::size_t p = p2; p < p1; ++p) {  // c and d structurally zero
+            const T u1r = static_cast<T>(w1r[p]), u1i = static_cast<T>(w1i[p]);
+            const T u2r = static_cast<T>(w2r[p]), u2i = static_cast<T>(w2i[p]);
+            const T u3r = static_cast<T>(w3r[p]), u3i = static_cast<T>(w3i[p]);
+            const T* a_r = sr + p * sB;
+            const T* a_i = si + p * sB;
+            T* y0r = dr + 4 * p * sB;
+            T* y0i = di + 4 * p * sB;
+            lane_loop<L>(sB, [&]<class V>(std::size_t i) {
+                const auto ar = V::load(a_r + i), ai = V::load(a_i + i);
+                const auto br = V::load(a_r + i + n4B);
+                const auto bi = V::load(a_i + i + n4B);
+                V::store(y0r + i, V::add(ar, br));
+                V::store(y0i + i, V::add(ai, bi));
+                const auto v1r = V::set1(u1r), v1i = V::set1(u1i);
+                const auto t1r = V::add(ar, bi), t1i = V::sub(ai, br);
+                V::store(y0r + i + sB, V::sub(V::mul(v1r, t1r), V::mul(v1i, t1i)));
+                V::store(y0i + i + sB, V::add(V::mul(v1r, t1i), V::mul(v1i, t1r)));
+                const auto v2r = V::set1(u2r), v2i = V::set1(u2i);
+                const auto t2r = V::sub(ar, br), t2i = V::sub(ai, bi);
+                V::store(y0r + i + 2 * sB,
+                         V::sub(V::mul(v2r, t2r), V::mul(v2i, t2i)));
+                V::store(y0i + i + 2 * sB,
+                         V::add(V::mul(v2r, t2i), V::mul(v2i, t2r)));
+                const auto v3r = V::set1(u3r), v3i = V::set1(u3i);
+                const auto t3r = V::sub(ar, bi), t3i = V::add(ai, br);
+                V::store(y0r + i + 3 * sB,
+                         V::sub(V::mul(v3r, t3r), V::mul(v3i, t3i)));
+                V::store(y0i + i + 3 * sB,
+                         V::add(V::mul(v3r, t3i), V::mul(v3i, t3r)));
+            });
+        }
+        for (std::size_t p = p1; p < p0; ++p) {  // only a live
+            const T u1r = static_cast<T>(w1r[p]), u1i = static_cast<T>(w1i[p]);
+            const T u2r = static_cast<T>(w2r[p]), u2i = static_cast<T>(w2i[p]);
+            const T u3r = static_cast<T>(w3r[p]), u3i = static_cast<T>(w3i[p]);
+            const T* a_r = sr + p * sB;
+            const T* a_i = si + p * sB;
+            T* y0r = dr + 4 * p * sB;
+            T* y0i = di + 4 * p * sB;
+            lane_loop<L>(sB, [&]<class V>(std::size_t i) {
+                const auto ar = V::load(a_r + i), ai = V::load(a_i + i);
+                V::store(y0r + i, ar);
+                V::store(y0i + i, ai);
+                const auto v1r = V::set1(u1r), v1i = V::set1(u1i);
+                V::store(y0r + i + sB, V::sub(V::mul(v1r, ar), V::mul(v1i, ai)));
+                V::store(y0i + i + sB, V::add(V::mul(v1r, ai), V::mul(v1i, ar)));
+                const auto v2r = V::set1(u2r), v2i = V::set1(u2i);
+                V::store(y0r + i + 2 * sB,
+                         V::sub(V::mul(v2r, ar), V::mul(v2i, ai)));
+                V::store(y0i + i + 2 * sB,
+                         V::add(V::mul(v2r, ai), V::mul(v2i, ar)));
+                const auto v3r = V::set1(u3r), v3i = V::set1(u3i);
+                V::store(y0r + i + 3 * sB,
+                         V::sub(V::mul(v3r, ar), V::mul(v3i, ai)));
+                V::store(y0i + i + 3 * sB,
+                         V::add(V::mul(v3r, ai), V::mul(v3i, ar)));
+            });
+        }
+        nzb = 4 * s * p0;
+        std::swap(sr, dr);
+        std::swap(si, di);
+    }
+}
+
+// ------------------------------------------------ per-level entry points
+//
+// Each translation unit defines its level's set (fft_kernels.cpp: scalar +
+// the dispatch; fft_kernels_sse2.cpp / fft_kernels_avx2.cpp: the vector
+// levels, falling back to the next level down when the build target lacks
+// the ISA entirely).
+
+void forward_scalar(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                    double* wi, std::size_t nzb);
+void forward_sse2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi, std::size_t nzb);
+void forward_avx2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi, std::size_t nzb);
+
+void inverse_scalar(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                    double* wi);
+void inverse_sse2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi);
+void inverse_avx2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi);
+
+void forward_batch_scalar(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                          double* xi, double* wr, double* wi);
+void forward_batch_sse2(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                        double* xi, double* wr, double* wi);
+void forward_batch_avx2(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                        double* xi, double* wr, double* wi);
+
+void forward_batch_f32_scalar(const Pow2Kernel& plan, std::size_t batch,
+                              float* xr, float* xi, float* wr, float* wi);
+void forward_batch_f32_sse2(const Pow2Kernel& plan, std::size_t batch,
+                            float* xr, float* xi, float* wr, float* wi);
+void forward_batch_f32_avx2(const Pow2Kernel& plan, std::size_t batch,
+                            float* xr, float* xi, float* wr, float* wi);
+
+}  // namespace witrack::dsp::kernels::detail

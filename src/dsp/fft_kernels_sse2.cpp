@@ -1,0 +1,56 @@
+// SSE2 (128-bit) instantiations of the lane-templated butterfly loops.
+// Built with the library's baseline flags: SSE2 is guaranteed on x86-64,
+// so this translation unit needs no extra -m options. On targets without
+// SSE2 the entry points degrade to the scalar level (dispatch never selects
+// kSse2 there, but the symbols must still link).
+#include "dsp/fft_kernels_impl.hpp"
+
+namespace witrack::dsp::kernels::detail {
+
+#if defined(__SSE2__)
+
+void forward_sse2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi, std::size_t nzb) {
+    run_forward_t<simd::SseD>(plan, xr, xi, wr, wi, nzb);
+}
+
+void inverse_sse2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi) {
+    run_inverse_t<simd::SseD>(plan, xr, xi, wr, wi);
+}
+
+void forward_batch_sse2(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                        double* xi, double* wr, double* wi) {
+    run_forward_batch_t<simd::SseD>(plan, batch, xr, xi, wr, wi);
+}
+
+void forward_batch_f32_sse2(const Pow2Kernel& plan, std::size_t batch,
+                            float* xr, float* xi, float* wr, float* wi) {
+    run_forward_batch_t<simd::SseF>(plan, batch, xr, xi, wr, wi);
+}
+
+#else  // !__SSE2__
+
+void forward_sse2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi, std::size_t nzb) {
+    forward_scalar(plan, xr, xi, wr, wi, nzb);
+}
+
+void inverse_sse2(const Pow2Kernel& plan, double* xr, double* xi, double* wr,
+                  double* wi) {
+    inverse_scalar(plan, xr, xi, wr, wi);
+}
+
+void forward_batch_sse2(const Pow2Kernel& plan, std::size_t batch, double* xr,
+                        double* xi, double* wr, double* wi) {
+    forward_batch_scalar(plan, batch, xr, xi, wr, wi);
+}
+
+void forward_batch_f32_sse2(const Pow2Kernel& plan, std::size_t batch,
+                            float* xr, float* xi, float* wr, float* wi) {
+    forward_batch_f32_scalar(plan, batch, xr, xi, wr, wi);
+}
+
+#endif  // __SSE2__
+
+}  // namespace witrack::dsp::kernels::detail

@@ -1,0 +1,131 @@
+// Width-agnostic SIMD lane layer for the FFT kernel engine: a tiny set of
+// lane structs (load/store/broadcast/add/sub/mul over a register of `width`
+// elements) with scalar, SSE2 (128-bit) and AVX2 (256-bit) implementations,
+// plus the runtime dispatch level the per-ISA kernel translation units are
+// selected by.
+//
+// The butterfly code in fft_kernels_impl.hpp is written once as templates
+// over a lane struct; each ISA gets its own translation unit (compiled with
+// the matching -m flags) that instantiates them, and dispatch picks the
+// best level the CPU supports at runtime. Every lane performs exactly the
+// same IEEE-754 operations per element -- no FMA, no reassociation -- so
+// all dispatch levels produce bit-identical results (asserted by
+// tests/test_fft.cpp).
+//
+// The WITRACK_SIMD environment variable (scalar | sse2 | avx2) clamps the
+// active level below the detected one for testing and triage; requests the
+// hardware cannot honor fall back to the best supported level.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SSE2__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace witrack::dsp::simd {
+
+/// Dispatch levels, ordered: higher levels strictly require the lower
+/// ones' ISA. kSse2 is the x86-64 baseline; non-x86 builds detect kScalar.
+enum class Level : int {
+    kScalar = 0,
+    kSse2 = 1,
+    kAvx2 = 2,
+};
+
+/// "scalar" / "sse2" / "avx2".
+const char* to_string(Level level) noexcept;
+
+/// Best level this CPU supports (queried once, constant thereafter).
+Level detect() noexcept;
+
+/// The level the kernels dispatch on: detect(), clamped down by the
+/// WITRACK_SIMD environment variable (read once, on first use) or by the
+/// most recent force() call. Never above detect().
+Level active() noexcept;
+
+/// Test hook: override the active level (clamped to detect() -- forcing a
+/// level the hardware lacks selects the best supported one instead).
+/// Returns the level actually activated.
+Level force(Level level) noexcept;
+
+// ------------------------------------------------------------------ lanes
+//
+// A lane struct provides:
+//   elem              -- the element type (double or float)
+//   reg               -- the register type holding `width` elems
+//   width             -- elements per register
+//   load / store      -- unaligned contiguous access
+//   set1              -- broadcast one element to all positions
+//   add / sub / mul   -- elementwise IEEE-754 arithmetic
+
+/// Width-1 fallback lane; also the tail lane of every vector loop.
+template <class T>
+struct Scalar {
+    using elem = T;
+    using reg = T;
+    static constexpr std::size_t width = 1;
+    static reg load(const elem* p) noexcept { return *p; }
+    static void store(elem* p, reg v) noexcept { *p = v; }
+    static reg set1(elem v) noexcept { return v; }
+    static reg add(reg a, reg b) noexcept { return a + b; }
+    static reg sub(reg a, reg b) noexcept { return a - b; }
+    static reg mul(reg a, reg b) noexcept { return a * b; }
+};
+
+using ScalarD = Scalar<double>;
+using ScalarF = Scalar<float>;
+
+#if defined(__SSE2__)
+struct SseD {
+    using elem = double;
+    using reg = __m128d;
+    static constexpr std::size_t width = 2;
+    static reg load(const elem* p) noexcept { return _mm_loadu_pd(p); }
+    static void store(elem* p, reg v) noexcept { _mm_storeu_pd(p, v); }
+    static reg set1(elem v) noexcept { return _mm_set1_pd(v); }
+    static reg add(reg a, reg b) noexcept { return _mm_add_pd(a, b); }
+    static reg sub(reg a, reg b) noexcept { return _mm_sub_pd(a, b); }
+    static reg mul(reg a, reg b) noexcept { return _mm_mul_pd(a, b); }
+};
+
+struct SseF {
+    using elem = float;
+    using reg = __m128;
+    static constexpr std::size_t width = 4;
+    static reg load(const elem* p) noexcept { return _mm_loadu_ps(p); }
+    static void store(elem* p, reg v) noexcept { _mm_storeu_ps(p, v); }
+    static reg set1(elem v) noexcept { return _mm_set1_ps(v); }
+    static reg add(reg a, reg b) noexcept { return _mm_add_ps(a, b); }
+    static reg sub(reg a, reg b) noexcept { return _mm_sub_ps(a, b); }
+    static reg mul(reg a, reg b) noexcept { return _mm_mul_ps(a, b); }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+struct AvxD {
+    using elem = double;
+    using reg = __m256d;
+    static constexpr std::size_t width = 4;
+    static reg load(const elem* p) noexcept { return _mm256_loadu_pd(p); }
+    static void store(elem* p, reg v) noexcept { _mm256_storeu_pd(p, v); }
+    static reg set1(elem v) noexcept { return _mm256_set1_pd(v); }
+    static reg add(reg a, reg b) noexcept { return _mm256_add_pd(a, b); }
+    static reg sub(reg a, reg b) noexcept { return _mm256_sub_pd(a, b); }
+    static reg mul(reg a, reg b) noexcept { return _mm256_mul_pd(a, b); }
+};
+
+struct AvxF {
+    using elem = float;
+    using reg = __m256;
+    static constexpr std::size_t width = 8;
+    static reg load(const elem* p) noexcept { return _mm256_loadu_ps(p); }
+    static void store(elem* p, reg v) noexcept { _mm256_storeu_ps(p, v); }
+    static reg set1(elem v) noexcept { return _mm256_set1_ps(v); }
+    static reg add(reg a, reg b) noexcept { return _mm256_add_ps(a, b); }
+    static reg sub(reg a, reg b) noexcept { return _mm256_sub_ps(a, b); }
+    static reg mul(reg a, reg b) noexcept { return _mm256_mul_ps(a, b); }
+};
+#endif  // __AVX2__
+
+}  // namespace witrack::dsp::simd

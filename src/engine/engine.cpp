@@ -123,7 +123,32 @@ bool Engine::step() {
 
     result_ = tracker_.process_frame(frame_.sweeps, frame_.time_s,
                                      demanded_outputs());
+    complete_frame();
+    return true;
+}
 
+bool Engine::begin_step(dsp::FftBatch& batch) {
+    // Same admission logic as step(); only the pipeline execution defers.
+    if (state_ == SessionState::kFinished || state_ == SessionState::kEvicted)
+        return false;
+    if (!source_->next(frame_)) {
+        if (state_ == SessionState::kAdmitted || state_ == SessionState::kRunning)
+            state_ = SessionState::kDraining;
+        return false;
+    }
+    if (state_ == SessionState::kAdmitted) state_ = SessionState::kRunning;
+
+    tracker_.stage_frame(frame_.sweeps, frame_.time_s, demanded_outputs(),
+                         batch);
+    return true;
+}
+
+void Engine::finish_step() {
+    result_ = tracker_.finish_frame();
+    complete_frame();
+}
+
+void Engine::complete_frame() {
     // Skip even constructing the event when nobody listens: a headless
     // deployment pays nothing for the publish path.
     if (bus_.subscriber_count<TrackUpdateEvent>() > 0) {
@@ -145,7 +170,6 @@ bool Engine::step() {
     }
 
     ++frames_;
-    return true;
 }
 
 void Engine::run_stage(std::size_t index, EventBus& bus) {

@@ -97,6 +97,8 @@ std::string to_json(const FleetStats& stats) {
                  static_cast<std::uint64_t>(stats.active_sessions));
     append_field(out, "queued_sessions",
                  static_cast<std::uint64_t>(stats.queued_sessions));
+    append_field(out, "fft_batched",
+                 static_cast<std::uint64_t>(stats.fft_batched));
     out += ",\"net\":";
     append_net(out, stats.net);
     out += ",\"sessions\":[";
@@ -325,6 +327,29 @@ void EngineHost::settle() {
 
 std::size_t EngineHost::step_all() {
     settle();
+    const std::size_t processed =
+        config_.batch_fft ? round_batched() : round_serial();
+    ++rounds_;
+    return processed;
+}
+
+void EngineHost::lag_session(Session& session) {
+    // Backpressure: a session that cannot consume its frames falls
+    // behind the stream one frame per round. A live radio drops
+    // those frames on the floor; past the configured lag the
+    // session's tracking state is stale beyond recovery and the
+    // host reclaims the slot.
+    ++session.lag;
+    if (config_.max_frame_lag > 0 && session.lag > config_.max_frame_lag) {
+        evict_session(session,
+                      "frame lag " + std::to_string(session.lag) +
+                          " exceeded max_frame_lag " +
+                          std::to_string(config_.max_frame_lag));
+        promote_queued();
+    }
+}
+
+std::size_t EngineHost::round_serial() {
     std::size_t processed = 0;
     // Fair round-robin over a stable admission order: each schedulable
     // session consumes exactly one frame before any session sees a second.
@@ -334,19 +359,7 @@ std::size_t EngineHost::step_all() {
         if (session.queued || terminal(session)) continue;
 
         if (session.paused) {
-            // Backpressure: a session that cannot consume its frames falls
-            // behind the stream one frame per round. A live radio drops
-            // those frames on the floor; past the configured lag the
-            // session's tracking state is stale beyond recovery and the
-            // host reclaims the slot.
-            ++session.lag;
-            if (config_.max_frame_lag > 0 && session.lag > config_.max_frame_lag) {
-                evict_session(session,
-                              "frame lag " + std::to_string(session.lag) +
-                                  " exceeded max_frame_lag " +
-                                  std::to_string(config_.max_frame_lag));
-                promote_queued();
-            }
+            lag_session(session);
             continue;
         }
 
@@ -381,7 +394,92 @@ std::size_t EngineHost::step_all() {
             promote_queued();
         }
     }
-    ++rounds_;
+    return processed;
+}
+
+std::size_t EngineHost::round_batched() {
+    std::size_t processed = 0;
+    // Two-phase round: every ready session begin_step()s its frame into the
+    // shared batch, the batch runs once (same-shape transforms across
+    // sessions execute as one lane-interleaved pass), then every staged
+    // session finish_step()s. Stages run during finish may admit new
+    // sessions; those land past `end` and get their own sub-round, so the
+    // fairness contract (one frame per session per round) is preserved.
+    struct Staged {
+        std::size_t index;
+        double begin_s;  ///< this session's own staging wall clock
+    };
+    std::vector<Staged> staged;
+    std::size_t start = 0;
+    while (start < sessions_.size()) {
+        const std::size_t end = sessions_.size();
+        staged.clear();
+        batch_.clear();
+
+        for (std::size_t i = start; i < end; ++i) {
+            Session& session = *sessions_[i];
+            if (session.queued || terminal(session)) continue;
+            if (session.paused) {
+                lag_session(session);
+                continue;
+            }
+            try {
+                const auto t0 = std::chrono::steady_clock::now();
+                const bool produced = session.engine->begin_step(batch_);
+                const auto t1 = std::chrono::steady_clock::now();
+                if (produced) {
+                    staged.push_back(
+                        {i, std::chrono::duration<double>(t1 - t0).count()});
+                } else {
+                    session.engine->finish();
+                    session.accounted = true;
+                    ++finished_total_;
+                    promote_queued();
+                }
+            } catch (const std::exception& error) {
+                evict_session(session,
+                              std::string("begin_step() threw: ") + error.what());
+                promote_queued();
+            } catch (...) {
+                evict_session(session, "begin_step() threw a non-std exception");
+                promote_queued();
+            }
+        }
+
+        // The shared pass. Float64 keeps fleet output bit-identical to the
+        // serial schedule; only batches of >= 2 count as shared work.
+        fft_batched_window_ += batch_.run(batch_scratch_);
+
+        for (const Staged& item : staged) {
+            Session& session = *sessions_[item.index];
+            // A sibling's finish_step may have run a stage that evicted
+            // this session after it staged; its computed spectra are simply
+            // abandoned with the rest of its state.
+            if (terminal(session)) continue;
+            try {
+                const auto t0 = std::chrono::steady_clock::now();
+                session.engine->finish_step();
+                const auto t1 = std::chrono::steady_clock::now();
+                const double elapsed =
+                    item.begin_s + std::chrono::duration<double>(t1 - t0).count();
+                ++session.frames;
+                session.total_step_s += elapsed;
+                session.max_step_s = std::max(session.max_step_s, elapsed);
+                session.lag = 0;
+                ++processed;
+                ++frames_window_;
+            } catch (const std::exception& error) {
+                evict_session(session,
+                              std::string("finish_step() threw: ") + error.what());
+                promote_queued();
+            } catch (...) {
+                evict_session(session, "finish_step() threw a non-std exception");
+                promote_queued();
+            }
+        }
+
+        start = end;
+    }
     return processed;
 }
 
@@ -419,6 +517,7 @@ FleetStats EngineHost::take_fleet_stats() {
     stats.sessions_evicted = evicted_total_;
     stats.active_sessions = active_sessions();
     stats.queued_sessions = queued_sessions();
+    stats.fft_batched = fft_batched_window_;
 
     stats.sessions.reserve(sessions_.size());
     for (auto& session : sessions_) {
@@ -441,6 +540,7 @@ FleetStats EngineHost::take_fleet_stats() {
     }
 
     frames_window_ = 0;
+    fft_batched_window_ = 0;
     window_started_s_ = now_s;
     return stats;
 }

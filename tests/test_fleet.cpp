@@ -135,7 +135,7 @@ class FaultyStage : public engine::AppStage {
 /// Run the canonical 3-session heterogeneous fleet (full-demand sim walk,
 /// TOF-only sim walk, localize-only replay) on one EngineHost and compare
 /// every session's output bit for bit against dedicated standalone Engines.
-void run_fleet_parity(std::size_t host_workers) {
+void run_fleet_parity(std::size_t host_workers, bool batch_fft = false) {
     const std::string path = testing::TempDir() + "witrack_fleet_parity.wtrk";
     record_episode(path, 407);
 
@@ -164,8 +164,10 @@ void run_fleet_parity(std::size_t host_workers) {
     EXPECT_TRUE(replay_ref.tracker().track().empty());
 
     // --- the same three sessions multiplexed on one host ------------------
-    engine::EngineHost host(
-        engine::HostConfig{}.with_workers(host_workers).with_max_sessions(8));
+    engine::EngineHost host(engine::HostConfig{}
+                                .with_workers(host_workers)
+                                .with_max_sessions(8)
+                                .with_batch_fft(batch_fft));
     const auto full_id = host.admit("home-a", walk_config(401),
                                     std::make_unique<engine::SimSource>(
                                         walk_config(401), walk_script()));
@@ -213,6 +215,44 @@ TEST(Fleet, HeterogeneousSessionsBitIdenticalDefaultWorkers) {
     // Engine does -- the TSan CI job runs this suite with WITRACK_WORKERS=4,
     // flipping the whole fleet onto the shared pool.
     run_fleet_parity(0);
+}
+
+TEST(Fleet, HeterogeneousSessionsBitIdenticalBatchedHost) {
+    // batch_fft gathers the three sessions' range FFTs into shared
+    // lane-interleaved passes each round; output must not move a bit.
+    run_fleet_parity(1, /*batch_fft=*/true);
+}
+
+TEST(Fleet, HeterogeneousSessionsBitIdenticalBatchedSharedPoolHost) {
+    run_fleet_parity(4, /*batch_fft=*/true);
+}
+
+TEST(Fleet, BatchedHostSharesCrossSessionFftWork) {
+    // Two same-config sessions: every batched round fuses their range FFTs
+    // (one per antenna per session) into cross-session batches, and the
+    // telemetry window reports exactly how many transforms ran shared.
+    engine::EngineHost host(engine::HostConfig{}.with_batch_fft(true));
+    const auto a = host.admit("a", walk_config(421),
+                              std::make_unique<engine::SimSource>(
+                                  walk_config(421), walk_script()));
+    const auto b = host.admit("b", walk_config(422),
+                              std::make_unique<engine::SimSource>(
+                                  walk_config(422), walk_script()));
+    const std::size_t num_rx =
+        host.session(a)->array().rx.size();
+    for (int round = 0; round < 5; ++round) EXPECT_EQ(host.step_all(), 2u);
+
+    auto stats = host.take_fleet_stats();
+    EXPECT_EQ(stats.frames, 10u);
+    // Both sessions' transforms share every round's pass: 2 sessions x
+    // num_rx antennas x 5 rounds all ran inside batches of >= 2.
+    EXPECT_EQ(stats.fft_batched, 2u * num_rx * 5u);
+    EXPECT_NE(engine::to_json(stats).find("\"fft_batched\":"), std::string::npos);
+
+    // The counter is a window aggregate: it resets with the window and
+    // stays zero for a serial-configured host.
+    EXPECT_EQ(host.take_fleet_stats().fft_batched, 0u);
+    EXPECT_EQ(host.state(b), engine::SessionState::kRunning);
 }
 
 // ------------------------------------------------------ round-robin fairness
