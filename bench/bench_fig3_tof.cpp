@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
         };
         double stripe = 0.0;
         for (std::size_t k = lo; k <= hi; ++k)
-            if (away_from_person(k)) stripe = std::max(stripe, std::abs(profile.spectrum[k]));
+            if (away_from_person(k)) stripe = std::max(stripe, std::abs(profile.bin(k)));
         raw_static_power.add(stripe);
 
         const auto tof_frame = tof.process_frame(frame.sweeps, frame.time_s);

@@ -4,40 +4,24 @@
 #include <stdexcept>
 
 #include "common/serialize.hpp"
+#include "dsp/tail_kernels.hpp"
 
 namespace witrack::core {
-
-namespace {
-
-// Complex spectra serialize as interleaved re/im doubles.
-void save_spectrum(common::StateWriter& writer, const std::vector<dsp::cplx>& v) {
-    writer.u64(v.size());
-    for (const auto& z : v) {
-        writer.f64(z.real());
-        writer.f64(z.imag());
-    }
-}
-
-void load_spectrum(common::StateReader& reader, std::vector<dsp::cplx>& v) {
-    const auto n = reader.count(2 * sizeof(double));
-    v.resize(n);
-    for (auto& z : v) {
-        const double re = reader.f64();
-        const double im = reader.f64();
-        z = {re, im};
-    }
-}
-
-}  // namespace
 
 void BackgroundSubtractor::train(const RangeProfile& profile) {
     if (mode_ != BackgroundMode::kStaticTraining)
         throw std::logic_error("BackgroundSubtractor: train() requires kStaticTraining");
-    if (learned_sum_.empty()) learned_sum_.assign(profile.spectrum.size(), {0.0, 0.0});
-    if (learned_sum_.size() != profile.spectrum.size())
+    const std::size_t n = profile.spectrum_size();
+    if (learned_re_.empty()) {
+        learned_re_.assign(n, 0.0);
+        learned_im_.assign(n, 0.0);
+    }
+    if (learned_re_.size() != n)
         throw std::invalid_argument("BackgroundSubtractor: spectrum size changed");
-    for (std::size_t i = 0; i < learned_sum_.size(); ++i)
-        learned_sum_[i] += profile.spectrum[i];
+    for (std::size_t i = 0; i < n; ++i) {
+        learned_re_[i] += profile.re[i];
+        learned_im_[i] += profile.im[i];
+    }
     ++trained_count_;
 }
 
@@ -50,27 +34,29 @@ std::vector<double> BackgroundSubtractor::subtract(const RangeProfile& profile) 
 void BackgroundSubtractor::subtract_into(const RangeProfile& profile,
                                          std::vector<double>& out) {
     const std::size_t bins = profile.usable_bins;
+    const std::size_t n = profile.spectrum_size();
 
     if (mode_ == BackgroundMode::kFrameDiff) {
-        if (!has_previous_ || previous_.size() != profile.spectrum.size()) {
+        if (!has_previous_ || prev_re_.size() != n) {
             // First frame (or a spectrum-shape change re-primes the
             // differencer). assign() reuses capacity once warm.
-            previous_.assign(profile.spectrum.begin(), profile.spectrum.end());
+            prev_re_.assign(profile.re.begin(), profile.re.end());
+            prev_im_.assign(profile.im.begin(), profile.im.end());
             has_previous_ = true;
             out.clear();  // nothing to difference yet
             return;
         }
-        // Fused difference + history update: one pass reads the stored
-        // frame and replaces it in place, instead of a subtract pass
-        // followed by a full-vector copy of the new spectrum.
+        // Fused difference + magnitude + history update: one SIMD pass
+        // reads the stored frame and replaces it in place, instead of a
+        // subtract pass followed by a full-vector copy of the new spectrum.
         out.resize(bins);
-        for (std::size_t i = 0; i < bins; ++i) {
-            const dsp::cplx current = profile.spectrum[i];
-            out[i] = std::abs(current - previous_[i]);
-            previous_[i] = current;
+        dsp::tail::diff_magnitude(profile.re.data(), profile.im.data(),
+                                  prev_re_.data(), prev_im_.data(), out.data(),
+                                  bins);
+        for (std::size_t i = bins; i < n; ++i) {
+            prev_re_[i] = profile.re[i];
+            prev_im_[i] = profile.im[i];
         }
-        for (std::size_t i = bins; i < previous_.size(); ++i)
-            previous_[i] = profile.spectrum[i];
         return;
     }
 
@@ -81,13 +67,16 @@ void BackgroundSubtractor::subtract_into(const RangeProfile& profile,
     }
     out.resize(bins);
     const double scale = 1.0 / static_cast<double>(trained_count_);
-    for (std::size_t i = 0; i < bins; ++i)
-        out[i] = std::abs(profile.spectrum[i] - learned_sum_[i] * scale);
+    dsp::tail::scaled_diff_magnitude(profile.re.data(), profile.im.data(),
+                                     learned_re_.data(), learned_im_.data(),
+                                     scale, out.data(), bins);
 }
 
 void BackgroundSubtractor::reset() {
-    previous_.clear();
-    learned_sum_.clear();
+    prev_re_.clear();
+    prev_im_.clear();
+    learned_re_.clear();
+    learned_im_.clear();
     trained_count_ = 0;
     has_previous_ = false;
 }
@@ -95,8 +84,12 @@ void BackgroundSubtractor::reset() {
 void BackgroundSubtractor::save_state(common::StateWriter& writer) const {
     writer.u8(static_cast<std::uint8_t>(mode_));
     writer.boolean(has_previous_);
-    save_spectrum(writer, previous_);
-    save_spectrum(writer, learned_sum_);
+    // Whole-plane framing (snapshot v2): each spectrum plane is one bulk
+    // f64_vector record instead of a per-element interleaved loop.
+    writer.f64_vector(prev_re_);
+    writer.f64_vector(prev_im_);
+    writer.f64_vector(learned_re_);
+    writer.f64_vector(learned_im_);
     writer.u64(trained_count_);
 }
 
@@ -105,8 +98,13 @@ void BackgroundSubtractor::load_state(common::StateReader& reader) {
     if (mode != mode_)
         throw std::runtime_error("BackgroundSubtractor: snapshot mode mismatch");
     has_previous_ = reader.boolean();
-    load_spectrum(reader, previous_);
-    load_spectrum(reader, learned_sum_);
+    prev_re_ = reader.f64_vector();
+    prev_im_ = reader.f64_vector();
+    learned_re_ = reader.f64_vector();
+    learned_im_ = reader.f64_vector();
+    if (prev_re_.size() != prev_im_.size() ||
+        learned_re_.size() != learned_im_.size())
+        throw std::runtime_error("BackgroundSubtractor: plane size mismatch");
     trained_count_ = static_cast<std::size_t>(reader.u64());
 }
 

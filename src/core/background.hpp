@@ -44,14 +44,17 @@ class BackgroundSubtractor {
     /// Subtract the background and return the magnitude profile over the
     /// usable bins. Returns an empty vector for the first frame in
     /// kFrameDiff mode (no previous frame yet) or when untrained in
-    /// kStaticTraining mode.
+    /// kStaticTraining mode. The magnitude contract is sqrt(re^2 + im^2)
+    /// (see dsp/tail_kernels.hpp) -- within ~2.5 ulp of the exact
+    /// magnitude, identical across SIMD dispatch levels.
     std::vector<double> subtract(const RangeProfile& profile);
 
     /// In-place variant: writes the magnitude profile into `out`, reusing
     /// its storage (empty when there is nothing to difference yet). In
-    /// kFrameDiff mode the difference and the history update are fused
-    /// into one pass over the half spectrum -- no per-frame full-vector
-    /// copy -- and the whole path is allocation-free at steady state.
+    /// kFrameDiff mode the difference, the magnitude and the history
+    /// update are fused into one SIMD pass over the half-spectrum planes
+    /// -- no per-frame full-vector copy -- and the whole path is
+    /// allocation-free at steady state.
     void subtract_into(const RangeProfile& profile, std::vector<double>& out);
 
     void reset();
@@ -64,9 +67,12 @@ class BackgroundSubtractor {
     void load_state(common::StateReader& reader);
 
   private:
+    // History mirrors RangeProfile's SoA layout (separate re/im planes,
+    // always equal length) so the subtract kernels stream every operand
+    // with unit stride.
     BackgroundMode mode_;
-    std::vector<dsp::cplx> previous_;
-    std::vector<dsp::cplx> learned_sum_;
+    std::vector<double> prev_re_, prev_im_;        ///< last frame's spectrum
+    std::vector<double> learned_re_, learned_im_;  ///< training-sum spectrum
     std::size_t trained_count_ = 0;
     bool has_previous_ = false;
 };

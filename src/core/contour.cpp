@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "dsp/peaks.hpp"
+#include "dsp/tail_kernels.hpp"
 
 namespace witrack::core {
 
@@ -22,96 +22,94 @@ BinWindow usable_window(const PipelineConfig& config, std::size_t bins,
     return {std::min(lo, bins), hi};
 }
 
+// Robust per-frame noise floor from the usable band; median magnitude is
+// dominated by empty bins because the body occupies only a few. The scratch
+// caches the result per (lo, hi) band, so the gated re-detection pass of
+// the same frame reuses the floor the detection pass computed instead of
+// re-selecting it -- one order-statistics pass per antenna per frame.
+double banded_noise_floor(const std::vector<double>& magnitude, std::size_t lo,
+                          std::size_t hi, ContourScratch& scratch) {
+    if (scratch.floor_valid && scratch.floor_lo == lo && scratch.floor_hi == hi)
+        return scratch.floor_value;
+    scratch.floor_samples.assign(magnitude.begin() + static_cast<long>(lo),
+                                 magnitude.begin() + static_cast<long>(hi));
+    scratch.floor_value = dsp::noise_floor_inplace(scratch.floor_samples, 50.0);
+    scratch.floor_valid = true;
+    scratch.floor_lo = lo;
+    scratch.floor_hi = hi;
+    return scratch.floor_value;
+}
+
 }  // namespace
 
 double ContourTracker::measure_extent(const std::vector<double>& magnitude,
                                       double threshold, std::size_t lo, std::size_t hi,
                                       double bin_round_trip_m) const {
-    double w_sum = 0.0, m1 = 0.0, m2 = 0.0;
-    for (std::size_t i = lo; i < hi; ++i) {
-        if (magnitude[i] < threshold) continue;
-        const double d = static_cast<double>(i) * bin_round_trip_m;
-        const double w = magnitude[i] * magnitude[i];
-        w_sum += w;
-        m1 += w * d;
-        m2 += w * d * d;
-    }
-    if (w_sum <= 0.0) return 0.0;
-    const double mean = m1 / w_sum;
-    return std::sqrt(std::max(0.0, m2 / w_sum - mean * mean));
+    const dsp::tail::Moments m = dsp::tail::extent_moments(
+        magnitude.data(), lo, hi, threshold, bin_round_trip_m);
+    if (m.w_sum <= 0.0) return 0.0;
+    const double mean = m.m1 / m.w_sum;
+    return std::sqrt(std::max(0.0, m.m2 / m.w_sum - mean * mean));
 }
 
-std::vector<ContourPoint> ContourTracker::extract_peaks(
-    const std::vector<double>& magnitude, double bin_round_trip_m,
-    std::size_t max_peaks) const {
-    std::vector<ContourPoint> result;
-    if (magnitude.size() < 8 || max_peaks == 0) return result;
+void ContourTracker::extract_peaks_into(const std::vector<double>& magnitude,
+                                        double bin_round_trip_m,
+                                        std::size_t max_peaks,
+                                        ContourScratch& scratch,
+                                        std::vector<ContourPoint>& out) const {
+    out.clear();
+    if (magnitude.size() < 8 || max_peaks == 0) return;
 
     const auto [lo, hi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
-    if (lo + 4 >= hi) return result;
+    if (lo + 4 >= hi) return;
 
-    // Robust per-frame noise floor from the usable band; median magnitude is
-    // dominated by empty bins because the body occupies only a few.
-    std::vector<double> band(magnitude.begin() + static_cast<long>(lo),
-                             magnitude.begin() + static_cast<long>(hi));
-    const double floor = dsp::noise_floor(band, 50.0);
+    const double floor = banded_noise_floor(magnitude, lo, hi, scratch);
     const double threshold = floor * config_.contour_threshold;
 
     // Closest-first local maxima, kept at least 2 bins apart so one body
     // echo is not double-counted.
-    const auto peaks = dsp::find_peaks(band, threshold, 3);
+    dsp::find_peaks_window(magnitude.data(), lo, hi, threshold, 3,
+                           scratch.candidates, scratch.peaks);
     const double extent =
         measure_extent(magnitude, threshold, lo, hi, bin_round_trip_m);
 
-    for (const auto& peak : peaks) {
-        if (result.size() >= max_peaks) break;
+    for (const auto& peak : scratch.peaks) {
+        if (out.size() >= max_peaks) break;
         ContourPoint point;
         point.detected = true;
-        point.round_trip_m =
-            (static_cast<double>(lo) + peak.interpolated) * bin_round_trip_m;
+        point.round_trip_m = peak.interpolated * bin_round_trip_m;
         point.power = peak.value;
         point.noise_floor = floor;
         point.extent_m = extent;
-        result.push_back(point);
+        out.push_back(point);
     }
-    if (result.empty()) {
-        ContourPoint none;
-        none.noise_floor = floor;
-        none.extent_m = 0.0;
-        result.push_back(none);
-        result.clear();
-    }
-    return result;
 }
 
 ContourPoint ContourTracker::extract(const std::vector<double>& magnitude,
-                                     double bin_round_trip_m) const {
-    const auto peaks = extract_peaks(magnitude, bin_round_trip_m, 1);
-    if (!peaks.empty()) return peaks.front();
+                                     double bin_round_trip_m,
+                                     ContourScratch& scratch) const {
+    extract_peaks_into(magnitude, bin_round_trip_m, 1, scratch, scratch.points);
+    if (!scratch.points.empty()) return scratch.points.front();
     ContourPoint none;
     if (magnitude.size() >= 8) {
         const auto [lo, hi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
-        if (lo + 4 < hi) {
-            std::vector<double> band(magnitude.begin() + static_cast<long>(lo),
-                                     magnitude.begin() + static_cast<long>(hi));
-            none.noise_floor = dsp::noise_floor(band, 50.0);
-        }
+        if (lo + 4 < hi) none.noise_floor = banded_noise_floor(magnitude, lo, hi, scratch);
     }
     return none;
 }
 
 ContourPoint ContourTracker::extract_near(const std::vector<double>& magnitude,
                                           double bin_round_trip_m, double center_m,
-                                          double window_m, double relax) const {
+                                          double window_m, ContourScratch& scratch,
+                                          double relax) const {
     ContourPoint point;
     if (magnitude.size() < 8) return point;
     const auto [glo, ghi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
     if (glo + 4 >= ghi) return point;
 
-    // Noise floor still comes from the full usable band.
-    std::vector<double> band(magnitude.begin() + static_cast<long>(glo),
-                             magnitude.begin() + static_cast<long>(ghi));
-    const double floor = dsp::noise_floor(band, 50.0);
+    // Noise floor still comes from the full usable band (cached when the
+    // detection pass of this frame already computed it).
+    const double floor = banded_noise_floor(magnitude, glo, ghi, scratch);
     const double threshold = floor * config_.contour_threshold * relax;
 
     const double lo_m = std::max(center_m - window_m,
@@ -123,17 +121,19 @@ ContourPoint ContourTracker::extract_near(const std::vector<double>& magnitude,
     if (lo + 2 >= hi || hi > magnitude.size()) return point;
 
     // Strongest bin inside the gate (the gate is narrow, so "strongest"
-    // and "closest" coincide for a single body).
-    std::size_t best = lo + 1;
-    for (std::size_t i = lo + 1; i + 1 < hi; ++i)
-        if (magnitude[i] > magnitude[best]) best = i;
+    // and "closest" coincide for a single body). max_bin keeps the first
+    // index of the maximum, matching a forward strictly-greater scan.
+    const std::size_t best =
+        lo + 1 + dsp::tail::max_bin(magnitude.data() + lo + 1, hi - lo - 2);
     if (magnitude[best] < threshold) {
         point.noise_floor = floor;
         return point;
     }
     point.detected = true;
     point.round_trip_m =
-        dsp::parabolic_peak_position(magnitude, best) * bin_round_trip_m;
+        dsp::parabolic_peak_position_window(magnitude.data(), 0,
+                                            magnitude.size(), best) *
+        bin_round_trip_m;
     point.power = magnitude[best];
     point.noise_floor = floor;
     point.extent_m =
@@ -143,32 +143,58 @@ ContourPoint ContourTracker::extract_near(const std::vector<double>& magnitude,
 }
 
 ContourPoint ContourTracker::extract_strongest(const std::vector<double>& magnitude,
-                                               double bin_round_trip_m) const {
+                                               double bin_round_trip_m,
+                                               ContourScratch& scratch) const {
     ContourPoint point;
     if (magnitude.size() < 8) return point;
     const auto [lo, hi] = usable_window(config_, magnitude.size(), bin_round_trip_m);
     if (lo + 4 >= hi) return point;
 
-    std::vector<double> band(magnitude.begin() + static_cast<long>(lo),
-                             magnitude.begin() + static_cast<long>(hi));
-    const double floor = dsp::noise_floor(band, 50.0);
+    const double floor = banded_noise_floor(magnitude, lo, hi, scratch);
     const double threshold = floor * config_.contour_threshold;
 
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < band.size(); ++i)
-        if (band[i] > band[best]) best = i;
-    if (band[best] < threshold) {
+    const std::size_t best = lo + dsp::tail::max_bin(magnitude.data() + lo, hi - lo);
+    if (magnitude[best] < threshold) {
         point.noise_floor = floor;
         return point;
     }
     point.detected = true;
     point.round_trip_m =
-        (static_cast<double>(lo) + dsp::parabolic_peak_position(band, best)) *
+        dsp::parabolic_peak_position_window(magnitude.data(), lo, hi, best) *
         bin_round_trip_m;
-    point.power = band[best];
+    point.power = magnitude[best];
     point.noise_floor = floor;
     point.extent_m = measure_extent(magnitude, threshold, lo, hi, bin_round_trip_m);
     return point;
+}
+
+ContourPoint ContourTracker::extract(const std::vector<double>& magnitude,
+                                     double bin_round_trip_m) const {
+    ContourScratch scratch;
+    return extract(magnitude, bin_round_trip_m, scratch);
+}
+
+std::vector<ContourPoint> ContourTracker::extract_peaks(
+    const std::vector<double>& magnitude, double bin_round_trip_m,
+    std::size_t max_peaks) const {
+    ContourScratch scratch;
+    std::vector<ContourPoint> result;
+    extract_peaks_into(magnitude, bin_round_trip_m, max_peaks, scratch, result);
+    return result;
+}
+
+ContourPoint ContourTracker::extract_strongest(const std::vector<double>& magnitude,
+                                               double bin_round_trip_m) const {
+    ContourScratch scratch;
+    return extract_strongest(magnitude, bin_round_trip_m, scratch);
+}
+
+ContourPoint ContourTracker::extract_near(const std::vector<double>& magnitude,
+                                          double bin_round_trip_m, double center_m,
+                                          double window_m, double relax) const {
+    ContourScratch scratch;
+    return extract_near(magnitude, bin_round_trip_m, center_m, window_m, scratch,
+                        relax);
 }
 
 }  // namespace witrack::core

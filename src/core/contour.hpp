@@ -10,6 +10,7 @@
 
 #include "core/params.hpp"
 #include "core/range_fft.hpp"
+#include "dsp/peaks.hpp"
 
 namespace witrack::core {
 
@@ -23,29 +24,70 @@ struct ContourPoint {
     double extent_m = 0.0;
 };
 
+/// Preallocated workspace for one extraction lane (one antenna's contour
+/// calls within one frame). Owns every buffer the extraction entry points
+/// need -- there are no band copies and no per-call allocations once the
+/// buffers are warm -- plus the per-frame noise-floor cache: the first
+/// extraction of a frame computes the usable-band floor, and every later
+/// call against the same band (the gated re-detection pass in particular)
+/// reuses it, so one antenna estimates its floor exactly once per frame.
+/// Call start_frame() when a new magnitude profile arrives.
+struct ContourScratch {
+    std::vector<double> floor_samples;  ///< nth_element workspace
+    std::vector<double> candidates;     ///< peak-candidate mask plane
+    std::vector<dsp::Peak> peaks;       ///< windowed find_peaks output
+    std::vector<ContourPoint> points;   ///< single-point extraction staging
+
+    bool floor_valid = false;
+    std::size_t floor_lo = 0, floor_hi = 0;  ///< band the cache covers
+    double floor_value = 0.0;
+
+    /// Invalidate the noise-floor cache (new frame / new profile).
+    void start_frame() { floor_valid = false; }
+};
+
 class ContourTracker {
   public:
     explicit ContourTracker(const PipelineConfig& config) : config_(config) {}
 
     /// Extract the bottom contour from one subtracted magnitude profile.
     ContourPoint extract(const std::vector<double>& magnitude,
-                         double bin_round_trip_m) const;
+                        double bin_round_trip_m, ContourScratch& scratch) const;
 
     /// Multi-person extension: the `max_peaks` closest qualifying local
-    /// maxima, nearest first.
-    std::vector<ContourPoint> extract_peaks(const std::vector<double>& magnitude,
-                                            double bin_round_trip_m,
-                                            std::size_t max_peaks) const;
+    /// maxima, nearest first, written into `out` (cleared; storage reused).
+    void extract_peaks_into(const std::vector<double>& magnitude,
+                            double bin_round_trip_m, std::size_t max_peaks,
+                            ContourScratch& scratch,
+                            std::vector<ContourPoint>& out) const;
 
     /// The strongest (not closest) peak -- the alternative the paper rejects;
     /// kept for the ablation bench.
     ContourPoint extract_strongest(const std::vector<double>& magnitude,
-                                   double bin_round_trip_m) const;
+                                   double bin_round_trip_m,
+                                   ContourScratch& scratch) const;
 
     /// Gated re-detection around a predicted round trip: once a track is
     /// established, a weaker echo near the prediction is still the person
     /// (human motion is continuous, Section 4.4), so the detection
     /// threshold relaxes by `relax` inside +/- window_m of `center_m`.
+    /// Reuses the frame's cached noise floor when the scratch already
+    /// carries it (the floor always comes from the full usable band).
+    ContourPoint extract_near(const std::vector<double>& magnitude,
+                              double bin_round_trip_m, double center_m,
+                              double window_m, ContourScratch& scratch,
+                              double relax = 0.5) const;
+
+    /// Convenience overloads with a private throwaway scratch: identical
+    /// results, but each call allocates. Tests and ablation benches only;
+    /// the pipeline threads a persistent ContourScratch.
+    ContourPoint extract(const std::vector<double>& magnitude,
+                         double bin_round_trip_m) const;
+    std::vector<ContourPoint> extract_peaks(const std::vector<double>& magnitude,
+                                            double bin_round_trip_m,
+                                            std::size_t max_peaks) const;
+    ContourPoint extract_strongest(const std::vector<double>& magnitude,
+                                   double bin_round_trip_m) const;
     ContourPoint extract_near(const std::vector<double>& magnitude,
                               double bin_round_trip_m, double center_m,
                               double window_m, double relax = 0.5) const;

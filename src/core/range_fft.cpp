@@ -34,7 +34,7 @@ SweepProcessor::SweepProcessor(const FmcwParams& fmcw, dsp::WindowType window,
 }
 
 void SweepProcessor::transform(RangeProfile& out) {
-    rfft_->forward_windowed(averaged_, window_, out.spectrum, scratch_);
+    rfft_->forward_windowed_soa(averaged_, window_, out.re, out.im, scratch_);
     finalize_profile(out);
 }
 
@@ -75,7 +75,7 @@ void SweepProcessor::stage_into(std::span<const double> sweeps,
                                 std::size_t sweep_count, RangeProfile& out,
                                 dsp::FftBatch& batch) {
     average(sweeps, sweep_count);
-    batch.enqueue(*rfft_, averaged_, window_, out.spectrum);
+    batch.enqueue(*rfft_, averaged_, window_, out.re, out.im);
 }
 
 void SweepProcessor::process_frame_into(const FrameBuffer& frame,

@@ -32,13 +32,21 @@ namespace witrack::core {
 
 /// Complex range spectrum of one averaged frame for one antenna. The
 /// input sweep is real, so only the non-redundant half spectrum is
-/// materialized: `spectrum` holds usable_bins + 1 bins (DC through Nyquist
+/// materialized: the planes hold usable_bins + 1 bins (DC through Nyquist
 /// inclusive); the upper half would be their conjugate mirror and is never
-/// computed.
+/// computed. The spectrum is stored as structure-of-arrays re/im planes
+/// (always equal length) so the SIMD analysis tail -- background
+/// subtraction, magnitude scans -- streams each component with unit
+/// stride; bin k as a complex value is `bin(k)`.
 struct RangeProfile {
-    std::vector<dsp::cplx> spectrum;  ///< r2c half spectrum, usable_bins + 1
-    double bin_round_trip_m = 0.0;    ///< round-trip meters per FFT bin
-    std::size_t usable_bins = 0;      ///< bins below Nyquist (fft_size/2)
+    std::vector<double> re;         ///< r2c half spectrum, real plane
+    std::vector<double> im;         ///< r2c half spectrum, imaginary plane
+    double bin_round_trip_m = 0.0;  ///< round-trip meters per FFT bin
+    std::size_t usable_bins = 0;    ///< bins below Nyquist (fft_size/2)
+
+    /// Bins materialized: usable_bins + 1 once transformed, 0 before.
+    std::size_t spectrum_size() const { return re.size(); }
+    dsp::cplx bin(std::size_t k) const { return dsp::cplx(re[k], im[k]); }
 
     double round_trip_of_bin(double bin) const { return bin * bin_round_trip_m; }
     double bin_of_round_trip(double m) const { return m / bin_round_trip_m; }
@@ -73,8 +81,8 @@ class SweepProcessor {
     /// averaging now, *stage* the windowed transform into `batch` instead
     /// of executing it, and fill the profile metadata via
     /// finalize_profile() once the caller has run the batch. The staged
-    /// operands are the processor's averaging buffer and `out.spectrum`,
-    /// so this processor must not stage or process again -- and `out` must
+    /// operands are the processor's averaging buffer and `out`'s re/im
+    /// planes, so this processor must not stage or process again -- and `out` must
     /// stay alive -- until the batch has run. Batched results are
     /// bit-identical to process_into.
     void stage_into(std::span<const double> sweeps, std::size_t sweep_count,

@@ -19,6 +19,8 @@ TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx,
     for (std::size_t i = 0; i < num_rx; ++i) per_rx_.emplace_back(config_);
     profiles_.resize(num_rx);
     magnitude_.resize(num_rx);
+    contour_scratch_.resize(num_rx);
+    step_slots_.resize(num_rx);
 }
 
 void TofEstimator::enable_static_training() {
@@ -46,7 +48,11 @@ void TofEstimator::set_worker_pool(common::WorkerPool* pool) {
 void TofEstimator::process_rx(std::size_t rx, SweepProcessor& processor,
                               const FrameBuffer& frame, double dt,
                               AntennaFrame& out) {
-    processor.process_into(frame.antenna(rx), frame.num_sweeps(), profiles_[rx]);
+    {
+        ScopedStepTimer timer(step_slots_[rx].fft);
+        processor.process_into(frame.antenna(rx), frame.num_sweeps(),
+                               profiles_[rx]);
+    }
     post_rx(rx, dt, out);
 }
 
@@ -54,15 +60,29 @@ void TofEstimator::post_rx(std::size_t rx, double dt, AntennaFrame& out) {
     auto& antenna_state = per_rx_[rx];
     const auto& profile = profiles_[rx];
     auto& magnitude = magnitude_[rx];
-    antenna_state.background.subtract_into(profile, magnitude);
+    auto& scratch = contour_scratch_[rx];
+    auto& slot = step_slots_[rx];
+    {
+        ScopedStepTimer timer(slot.subtract);
+        antenna_state.background.subtract_into(profile, magnitude);
+    }
+
+    // The output frame is persistent: reset the fields this frame may not
+    // write (clear()/copy-assign reuse capacity, so no allocations).
+    out.contour = ContourPoint{};
+    out.peaks.clear();
+    scratch.start_frame();  // new profile: invalidate the noise-floor cache
 
     if (!magnitude.empty()) {
+        ScopedStepTimer timer(slot.contour);
         if (config_.contour_peaks > 1) {
-            out.peaks = contour_.extract_peaks(magnitude, profile.bin_round_trip_m,
-                                               config_.contour_peaks);
+            contour_.extract_peaks_into(magnitude, profile.bin_round_trip_m,
+                                        config_.contour_peaks, scratch,
+                                        out.peaks);
             out.contour = out.peaks.empty() ? ContourPoint{} : out.peaks.front();
         } else {
-            out.contour = contour_.extract(magnitude, profile.bin_round_trip_m);
+            out.contour =
+                contour_.extract(magnitude, profile.bin_round_trip_m, scratch);
         }
 
         // Gated re-detection: if the global contour missed (weak echo)
@@ -79,7 +99,7 @@ void TofEstimator::post_rx(std::size_t rx, double dt, AntennaFrame& out) {
             } else if (antenna_state.gated_streak < config_.gate_max_streak) {
                 const auto gated = contour_.extract_near(
                     magnitude, profile.bin_round_trip_m, *last,
-                    config_.gate_window_m, config_.gate_relax);
+                    config_.gate_window_m, scratch, config_.gate_relax);
                 if (gated.detected) {
                     out.contour = gated;
                     ++antenna_state.gated_streak;
@@ -87,32 +107,48 @@ void TofEstimator::post_rx(std::size_t rx, double dt, AntennaFrame& out) {
             }
         }
     }
-    out.denoised_m = antenna_state.denoiser.update(out.contour, dt);
-    if (config_.record_profiles) out.profile = magnitude;
+    {
+        ScopedStepTimer timer(slot.denoise);
+        out.denoised_m = antenna_state.denoiser.update(out.contour, dt);
+    }
+    if (config_.record_profiles)
+        out.profile = magnitude;
+    else
+        out.profile.clear();
 }
 
-TofFrame TofEstimator::process_frame(const FrameBuffer& frame, double time_s) {
+void TofEstimator::roll_up_steps() {
+    for (auto& slot : step_slots_) {
+        step_stats_.merge(slot);
+        slot.reset();
+    }
+}
+
+const TofFrame& TofEstimator::process_frame(const FrameBuffer& frame,
+                                            double time_s) {
     if (frame.num_rx() < per_rx_.size())
         throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
 
-    TofFrame out_frame;
-    out_frame.time_s = time_s;
-    out_frame.antennas.resize(per_rx_.size());
+    frame_out_.time_s = time_s;
+    frame_out_.antennas.resize(per_rx_.size());
 
     const double dt = config_.fmcw.frame_duration_s();
 
     if (pool_ != nullptr && per_rx_.size() > 1) {
-        // Per-RX fan-out: every lane's state is rx-disjoint, so the only
-        // coordination needed is the parallel_for join.
+        // Per-RX fan-out: every lane's state is rx-disjoint (including its
+        // step-counter slot), so the only coordination needed is the
+        // parallel_for join.
         pool_->parallel_for(per_rx_.size(), [&](std::size_t rx) {
             process_rx(rx, processors_.lane(rx), frame, dt,
-                       out_frame.antennas[rx]);
+                       frame_out_.antennas[rx]);
         });
     } else {
         for (std::size_t rx = 0; rx < per_rx_.size(); ++rx)
-            process_rx(rx, processors_.lane(0), frame, dt, out_frame.antennas[rx]);
+            process_rx(rx, processors_.lane(0), frame, dt,
+                       frame_out_.antennas[rx]);
     }
-    return out_frame;
+    roll_up_steps();
+    return frame_out_;
 }
 
 void TofEstimator::stage_frame(const FrameBuffer& frame, double time_s,
@@ -129,16 +165,21 @@ void TofEstimator::stage_frame(const FrameBuffer& frame, double time_s,
                                         profiles_[rx], batch);
 }
 
-TofFrame TofEstimator::finish_frame() {
-    TofFrame out_frame;
-    out_frame.time_s = staged_time_s_;
-    out_frame.antennas.resize(per_rx_.size());
+const TofFrame& TofEstimator::finish_frame() {
+    frame_out_.time_s = staged_time_s_;
+    frame_out_.antennas.resize(per_rx_.size());
     const double dt = config_.fmcw.frame_duration_s();
     for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
-        processors_.lane(rx).finalize_profile(profiles_[rx]);
-        post_rx(rx, dt, out_frame.antennas[rx]);
+        {
+            // The transform itself ran inside the caller's batch; only the
+            // metadata fill lands in the FFT step here.
+            ScopedStepTimer timer(step_slots_[rx].fft);
+            processors_.lane(rx).finalize_profile(profiles_[rx]);
+        }
+        post_rx(rx, dt, frame_out_.antennas[rx]);
     }
-    return out_frame;
+    roll_up_steps();
+    return frame_out_;
 }
 
 void TofEstimator::reset() {

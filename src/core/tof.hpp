@@ -17,6 +17,7 @@
 #include "core/denoise.hpp"
 #include "core/params.hpp"
 #include "core/range_fft.hpp"
+#include "core/step_profiler.hpp"
 
 namespace witrack::common {
 class WorkerPool;
@@ -85,20 +86,49 @@ class TofEstimator {
 
     /// Process one frame of raw sweeps (contiguous rx-major storage). This
     /// is the realtime hot path: zero heap allocations at steady state.
-    /// FrameBuffer is the only ingestion type.
-    TofFrame process_frame(const FrameBuffer& frame, double time_s);
+    /// The returned frame is a persistent member reused every call -- copy
+    /// it (capacity-reusing copy-assign) or consume it before the next
+    /// frame. FrameBuffer is the only ingestion type.
+    const TofFrame& process_frame(const FrameBuffer& frame, double time_s);
 
     /// Split-step form of process_frame for batched FFT execution: average
     /// each antenna's sweeps and *stage* its range FFT into `batch` now
     /// (one FFT lane per antenna); after the caller runs the batch,
     /// finish_frame() runs the remainder of every antenna's chain
-    /// (subtraction, contour, gating, denoise) and returns the frame.
-    /// Per-antenna state mutates only in finish_frame, and the result is
-    /// bit-identical to process_frame. Exactly one finish_frame call must
-    /// follow each stage_frame; `frame` must stay alive in between.
+    /// (subtraction, contour, gating, denoise) and returns the frame
+    /// (same persistent member as process_frame). Per-antenna state
+    /// mutates only in finish_frame, and the result is bit-identical to
+    /// process_frame. Exactly one finish_frame call must follow each
+    /// stage_frame; `frame` must stay alive in between.
     void stage_frame(const FrameBuffer& frame, double time_s,
                      dsp::FftBatch& batch);
-    TofFrame finish_frame();
+    const TofFrame& finish_frame();
+
+    /// Accumulated per-step cycle counters of the analysis chain (range
+    /// FFT, background subtract, contour+gating, denoise), rolled up
+    /// across antennas after every frame. take_step_stats() returns and
+    /// resets the accumulation window.
+    struct StepStats {
+        StepCounter fft, subtract, contour, denoise;
+
+        void merge(const StepStats& other) {
+            fft.merge(other.fft);
+            subtract.merge(other.subtract);
+            contour.merge(other.contour);
+            denoise.merge(other.denoise);
+        }
+        void reset() {
+            fft.reset();
+            subtract.reset();
+            contour.reset();
+            denoise.reset();
+        }
+    };
+    StepStats take_step_stats() {
+        StepStats stats = step_stats_;
+        step_stats_.reset();
+        return stats;
+    }
 
     /// Static-training extension: learn the empty scene from these frames
     /// (switches the background mode for all antennas).
@@ -144,6 +174,10 @@ class TofEstimator {
     /// antenna's finalized range profile) and updates rx-indexed state.
     void post_rx(std::size_t rx, double dt, AntennaFrame& out);
 
+    /// Merge every per-RX step-counter slot into the rolled-up stats
+    /// (called after the per-frame join; the slots are then zeroed).
+    void roll_up_steps();
+
     PipelineConfig config_;
     SweepProcessorBank processors_;               ///< lane per rx when pooled
     ContourTracker contour_;
@@ -151,6 +185,10 @@ class TofEstimator {
     std::vector<PerAntenna> per_rx_;
     std::vector<RangeProfile> profiles_;          ///< reused per-rx spectra
     std::vector<std::vector<double>> magnitude_;  ///< reused per-rx profiles
+    std::vector<ContourScratch> contour_scratch_; ///< reused per-rx workspace
+    std::vector<StepStats> step_slots_;           ///< per-rx, race-free lanes
+    StepStats step_stats_;                        ///< rolled up across rx
+    TofFrame frame_out_;                          ///< persistent result frame
     double staged_time_s_ = 0.0;                  ///< timestamp of the staged frame
 };
 

@@ -30,9 +30,8 @@ WiTrackTracker::WiTrackTracker(const PipelineConfig& config,
       localize_step_(array, config),
       smooth_step_(config) {}
 
-WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& frame,
-                                                          double time_s,
-                                                          PipelineOutputs demanded) {
+const WiTrackTracker::FrameResult& WiTrackTracker::process_frame(
+    const FrameBuffer& frame, double time_s, PipelineOutputs demanded) {
     const auto t0 = std::chrono::steady_clock::now();
     demanded = with_dependencies(demanded);
 
@@ -51,34 +50,43 @@ WiTrackTracker::FrameResult WiTrackTracker::process_frame(const FrameBuffer& fra
         smooth_step_.reset();
     prev_demanded_ = demanded;
 
-    FrameResult result;
-    result.computed = demanded;
+    // result_ is persistent: reset the fields this frame may not write
+    // (clear() and copy-assign below reuse capacity -- no allocations).
+    result_.computed = demanded;
+    result_.raw.reset();
+    result_.smoothed.reset();
 
-    if (demands(demanded, PipelineOutputs::kTof))
-        tof_step_.run(frame, time_s, result.tof);
+    if (demands(demanded, PipelineOutputs::kTof)) {
+        tof_step_.run(frame, time_s, result_.tof);
+    } else {
+        result_.tof.time_s = 0.0;
+        result_.tof.antennas.clear();
+    }
 
     if (demands(demanded, PipelineOutputs::kRawPosition)) {
-        result.raw = localize_step_.run(result.tof);
-        if (result.raw) {
-            raw_track_.push_back(*result.raw);
+        ScopedStepTimer timer(localize_steps_);
+        result_.raw = localize_step_.run(result_.tof);
+        if (result_.raw) {
+            raw_track_.push_back(*result_.raw);
             trim_history(raw_track_);
         }
     }
 
     if (demands(demanded, PipelineOutputs::kSmoothedTrack)) {
-        result.smoothed = smooth_step_.run(result.raw, time_s);
-        if (result.smoothed) {
-            track_.push_back(*result.smoothed);
+        ScopedStepTimer timer(smooth_steps_);
+        result_.smoothed = smooth_step_.run(result_.raw, time_s);
+        if (result_.smoothed) {
+            track_.push_back(*result_.smoothed);
             trim_history(track_);
         }
     }
 
     const auto t1 = std::chrono::steady_clock::now();
-    result.processing_seconds = std::chrono::duration<double>(t1 - t0).count();
-    total_latency_s_ += result.processing_seconds;
-    max_latency_s_ = std::max(max_latency_s_, result.processing_seconds);
+    result_.processing_seconds = std::chrono::duration<double>(t1 - t0).count();
+    total_latency_s_ += result_.processing_seconds;
+    max_latency_s_ = std::max(max_latency_s_, result_.processing_seconds);
     ++frames_;
-    return result;
+    return result_;
 }
 
 void WiTrackTracker::stage_frame(const FrameBuffer& frame, double time_s,
@@ -105,39 +113,46 @@ void WiTrackTracker::stage_frame(const FrameBuffer& frame, double time_s,
     staged_elapsed_s_ = std::chrono::duration<double>(t1 - t0).count();
 }
 
-WiTrackTracker::FrameResult WiTrackTracker::finish_frame() {
+const WiTrackTracker::FrameResult& WiTrackTracker::finish_frame() {
     // Mirrors the post-TOF tail of process_frame exactly; only the range
     // FFTs ran elsewhere (in the shared batch pass).
     const auto t0 = std::chrono::steady_clock::now();
-    FrameResult result;
-    result.computed = staged_demanded_;
+    result_.computed = staged_demanded_;
+    result_.raw.reset();
+    result_.smoothed.reset();
 
-    if (demands(staged_demanded_, PipelineOutputs::kTof))
-        result.tof = tof_step_.estimator().finish_frame();
+    if (demands(staged_demanded_, PipelineOutputs::kTof)) {
+        result_.tof = tof_step_.estimator().finish_frame();
+    } else {
+        result_.tof.time_s = 0.0;
+        result_.tof.antennas.clear();
+    }
 
     if (demands(staged_demanded_, PipelineOutputs::kRawPosition)) {
-        result.raw = localize_step_.run(result.tof);
-        if (result.raw) {
-            raw_track_.push_back(*result.raw);
+        ScopedStepTimer timer(localize_steps_);
+        result_.raw = localize_step_.run(result_.tof);
+        if (result_.raw) {
+            raw_track_.push_back(*result_.raw);
             trim_history(raw_track_);
         }
     }
 
     if (demands(staged_demanded_, PipelineOutputs::kSmoothedTrack)) {
-        result.smoothed = smooth_step_.run(result.raw, staged_time_s_);
-        if (result.smoothed) {
-            track_.push_back(*result.smoothed);
+        ScopedStepTimer timer(smooth_steps_);
+        result_.smoothed = smooth_step_.run(result_.raw, staged_time_s_);
+        if (result_.smoothed) {
+            track_.push_back(*result_.smoothed);
             trim_history(track_);
         }
     }
 
     const auto t1 = std::chrono::steady_clock::now();
-    result.processing_seconds =
+    result_.processing_seconds =
         staged_elapsed_s_ + std::chrono::duration<double>(t1 - t0).count();
-    total_latency_s_ += result.processing_seconds;
-    max_latency_s_ = std::max(max_latency_s_, result.processing_seconds);
+    total_latency_s_ += result_.processing_seconds;
+    max_latency_s_ = std::max(max_latency_s_, result_.processing_seconds);
     ++frames_;
-    return result;
+    return result_;
 }
 
 void WiTrackTracker::trim_history(std::vector<TrackPoint>& track) {

@@ -42,8 +42,10 @@ class WiTrackTracker {
 
     /// Process one frame of sweeps (contiguous rx-major storage) through the
     /// full chain. This is the realtime hot path; FrameBuffer is the only
-    /// ingestion type.
-    FrameResult process_frame(const FrameBuffer& frame, double time_s) {
+    /// ingestion type. The returned result is a persistent member reused
+    /// every frame (capacity-reusing, so the steady state is
+    /// allocation-free) -- copy it or consume it before the next frame.
+    const FrameResult& process_frame(const FrameBuffer& frame, double time_s) {
         return process_frame(frame, time_s, PipelineOutputs::kAll);
     }
 
@@ -53,8 +55,8 @@ class WiTrackTracker {
     /// empty and undemanded stateful steps do not advance; re-demanding the
     /// smoothed track after a gap restarts the position filter (no stale
     /// cross-gap extrapolation), so the smoothing session begins fresh.
-    FrameResult process_frame(const FrameBuffer& frame, double time_s,
-                              PipelineOutputs demanded);
+    const FrameResult& process_frame(const FrameBuffer& frame, double time_s,
+                                     PipelineOutputs demanded);
 
     /// Split-step form of process_frame for batched FFT execution: run the
     /// demand bookkeeping and stage the TOF step's range FFTs into `batch`
@@ -66,7 +68,25 @@ class WiTrackTracker {
     /// scheduler that ran it.
     void stage_frame(const FrameBuffer& frame, double time_s,
                      PipelineOutputs demanded, dsp::FftBatch& batch);
-    FrameResult finish_frame();
+    const FrameResult& finish_frame();
+
+    /// Per-pipeline-step cycle counters (Section 4 chain: fft, subtract,
+    /// contour, denoise from the TOF estimator; localize and smooth from
+    /// this tracker). take_step_stats() returns and resets the window.
+    struct PipelineStepStats {
+        TofEstimator::StepStats tof;
+        StepCounter localize;
+        StepCounter smooth;
+    };
+    PipelineStepStats take_step_stats() {
+        PipelineStepStats stats;
+        stats.tof = tof_step_.estimator().take_step_stats();
+        stats.localize = localize_steps_;
+        stats.smooth = smooth_steps_;
+        localize_steps_.reset();
+        smooth_steps_.reset();
+        return stats;
+    }
 
     /// Fan the per-antenna TOF chains out across `pool` (nullptr = serial).
     /// Parallel output is bit-identical to serial; the pool is borrowed and
@@ -112,6 +132,8 @@ class WiTrackTracker {
     PipelineOutputs staged_demanded_ = PipelineOutputs::kNone;
     double staged_time_s_ = 0.0;
     double staged_elapsed_s_ = 0.0;
+    FrameResult result_;  ///< persistent per-frame result, reused every frame
+    StepCounter localize_steps_, smooth_steps_;
     std::vector<TrackPoint> track_;
     std::vector<TrackPoint> raw_track_;
     double total_latency_s_ = 0.0;

@@ -29,18 +29,24 @@ inline void ensure_plane(std::vector<T>& v, std::size_t n) {
 /// so the untangle does h/2 iterations instead of the h a full-spectrum
 /// recombination needs. `stride` parameterizes the layout: 1 for the
 /// sequential path's contiguous planes, B for a lane-interleaved batch
-/// member (base pointers already offset to the member). TS is the source
-/// element type (double, or float for the float32 batch lane); the
-/// recombination arithmetic is double either way, so the stride-1 double
-/// instantiation is bit-identical to the pre-batch sequential code.
+/// member (base pointers already offset to the member). The output is
+/// written through (ore, oim, ostride): an interleaved std::complex array
+/// (ore = base, oim = base + 1, ostride 2 -- std::complex<double> is
+/// layout-guaranteed double[2]) or separate SoA planes (ostride 1), with
+/// identical arithmetic either way. TS is the source element type (double,
+/// or float for the float32 batch lane); the recombination arithmetic is
+/// double either way, so the stride-1 double instantiation is bit-identical
+/// to the pre-batch sequential code.
 template <class TS>
 void untangle_half_spectrum(const TS* zr, const TS* zi, std::size_t h,
                             std::size_t stride, const double* wr,
-                            const double* wi, std::vector<cplx>& out) {
-    out.resize(h + 1);
+                            const double* wi, double* ore, double* oim,
+                            std::size_t ostride) {
     const double zr0 = zr[0], zi0 = zi[0];
-    out[0] = cplx(zr0 + zi0, 0.0);
-    out[h] = cplx(zr0 - zi0, 0.0);
+    ore[0] = zr0 + zi0;
+    oim[0] = 0.0;
+    ore[h * ostride] = zr0 - zi0;
+    oim[h * ostride] = 0.0;
     for (std::size_t k = 1; 2 * k < h; ++k) {
         const double ar = zr[k * stride], ai = zi[k * stride];
         const double br = zr[(h - k) * stride], bi = zi[(h - k) * stride];
@@ -50,13 +56,51 @@ void untangle_half_spectrum(const TS* zr, const TS* zi, std::size_t h,
         const double odi = 0.5 * (br - ar);
         const double tr = wr[k] * odr - wi[k] * odi;
         const double ti = wr[k] * odi + wi[k] * odr;
-        out[k] = cplx(er + tr, ei + ti);
-        out[h - k] = cplx(er - tr, ti - ei);
+        ore[k * ostride] = er + tr;
+        oim[k * ostride] = ei + ti;
+        ore[(h - k) * ostride] = er - tr;
+        oim[(h - k) * ostride] = ti - ei;
     }
     if (h % 2 == 0 && h >= 2) {  // middle bin: X_{h/2} = conj(Z_{h/2}) exactly
         const double mr = zr[(h / 2) * stride], mi = zi[(h / 2) * stride];
-        out[h / 2] = cplx(mr, -mi);
+        ore[(h / 2) * ostride] = mr;
+        oim[(h / 2) * ostride] = -mi;
     }
+}
+
+/// Resolved output location of one transform: interleaved complex or SoA.
+struct SpectrumOut {
+    double* re;
+    double* im;
+    std::size_t stride;
+};
+
+/// Size (or reuse) a member's output storage and return where to write.
+/// std::complex<double> is layout-compatible with double[2], so the
+/// interleaved view writes through the complex vector directly.
+inline SpectrumOut resolve_spectrum_out(std::vector<cplx>* out,
+                                        std::vector<double>* out_re,
+                                        std::vector<double>* out_im,
+                                        std::size_t bins) {
+    if (out != nullptr) {
+        out->resize(bins);
+        double* base = reinterpret_cast<double*>(out->data());
+        return {base, base + 1, 2};
+    }
+    out_re->resize(bins);
+    out_im->resize(bins);
+    return {out_re->data(), out_im->data(), 1};
+}
+
+/// Pointer-only variant for storage that resolve_spectrum_out already sized.
+inline SpectrumOut spectrum_out_ptrs(std::vector<cplx>* out,
+                                     std::vector<double>* out_re,
+                                     std::vector<double>* out_im) {
+    if (out != nullptr) {
+        double* base = reinterpret_cast<double*>(out->data());
+        return {base, base + 1, 2};
+    }
+    return {out_re->data(), out_im->data(), 1};
 }
 
 }  // namespace
@@ -293,7 +337,8 @@ RealFft::RealFft(std::size_t n, FftPlanCache& cache, std::size_t n_nonzero)
 }
 
 void RealFft::transform(std::span<const double> input, const double* window,
-                        std::vector<cplx>& out, FftScratch& scratch) const {
+                        double* out_re, double* out_im, std::size_t out_stride,
+                        FftScratch& scratch) const {
     if (input.size() != nz_)
         throw std::invalid_argument("RealFft::forward: size mismatch");
 
@@ -309,8 +354,10 @@ void RealFft::transform(std::span<const double> input, const double* window,
         std::fill(re + nz_, re + n_, 0.0);
         std::fill(im, im + n_, 0.0);
         full_plan_->forward_soa(re, im, scratch);
-        out.resize(n_ / 2 + 1);
-        for (std::size_t k = 0; k <= n_ / 2; ++k) out[k] = cplx(re[k], im[k]);
+        for (std::size_t k = 0; k <= n_ / 2; ++k) {
+            out_re[k * out_stride] = re[k];
+            out_im[k * out_stride] = im[k];
+        }
         return;
     }
 
@@ -348,7 +395,8 @@ void RealFft::transform(std::span<const double> input, const double* window,
     }
     half_plan_->forward_soa(zr, zi, scratch);
 
-    untangle_half_spectrum(zr, zi, h, 1, twr_.data(), twi_.data(), out);
+    untangle_half_spectrum(zr, zi, h, 1, twr_.data(), twi_.data(), out_re,
+                           out_im, out_stride);
 }
 
 namespace {
@@ -413,14 +461,17 @@ void r2c_batch_pass(std::span<const RealFft::BatchItem> items,
     // k loop is chunked so the four strided read streams (both plane ends)
     // stay L1-resident across all B members of a chunk.
     for (std::size_t b = 0; b < B; ++b) {
-        std::vector<cplx>& out = *items[b].out;
-        out.resize(h + 1);
+        const SpectrumOut out = resolve_spectrum_out(
+            items[b].out, items[b].out_re, items[b].out_im, h + 1);
         const double zr0 = zr[b], zi0 = zi[b];
-        out[0] = cplx(zr0 + zi0, 0.0);
-        out[h] = cplx(zr0 - zi0, 0.0);
+        out.re[0] = zr0 + zi0;
+        out.im[0] = 0.0;
+        out.re[h * out.stride] = zr0 - zi0;
+        out.im[h * out.stride] = 0.0;
         if (h % 2 == 0 && h >= 2) {
             const double mr = zr[(h / 2) * B + b], mi = zi[(h / 2) * B + b];
-            out[h / 2] = cplx(mr, -mi);
+            out.re[(h / 2) * out.stride] = mr;
+            out.im[(h / 2) * out.stride] = -mi;
         }
     }
     const std::size_t untangle_tile = std::max<std::size_t>(std::size_t{1}, 512 / B);
@@ -429,7 +480,8 @@ void r2c_batch_pass(std::span<const RealFft::BatchItem> items,
         for (std::size_t b = 0; b < B; ++b) {
             const T* zrb = zr + b;
             const T* zib = zi + b;
-            cplx* out = items[b].out->data();
+            const SpectrumOut out =
+                spectrum_out_ptrs(items[b].out, items[b].out_re, items[b].out_im);
             for (std::size_t k = k0; k < k1; ++k) {
                 const double ar = zrb[k * B], ai = zib[k * B];
                 const double br = zrb[(h - k) * B], bi = zib[(h - k) * B];
@@ -439,8 +491,10 @@ void r2c_batch_pass(std::span<const RealFft::BatchItem> items,
                 const double odi = 0.5 * (br - ar);
                 const double tr = twr[k] * odr - twi[k] * odi;
                 const double ti = twr[k] * odi + twi[k] * odr;
-                out[k] = cplx(er + tr, ei + ti);
-                out[h - k] = cplx(er - tr, ti - ei);
+                out.re[k * out.stride] = er + tr;
+                out.im[k * out.stride] = ei + ti;
+                out.re[(h - k) * out.stride] = er - tr;
+                out.im[(h - k) * out.stride] = ti - ei;
             }
         }
     }
@@ -453,9 +507,11 @@ void RealFft::transform_batch(std::span<const BatchItem> items,
                               BatchPrecision precision) const {
     const std::size_t B = items.size();
     if (B == 0) return;
-    // Validate every member before any output mutates.
+    // Validate every member before any output mutates. A member targets
+    // either an interleaved complex vector (out) or a pair of SoA planes
+    // (out_re/out_im); exactly one of the two forms must be complete.
     for (const BatchItem& item : items) {
-        if (item.out == nullptr)
+        if (item.out == nullptr && (item.out_re == nullptr || item.out_im == nullptr))
             throw std::invalid_argument("RealFft::forward_batch: null output");
         if (item.input.size() != nz_)
             throw std::invalid_argument(
@@ -468,10 +524,13 @@ void RealFft::transform_batch(std::span<const BatchItem> items,
         // Degenerate batch / odd N / non-power-of-two half: the sequential
         // schedule *is* the batched schedule (kFloat32 falls back to full
         // double precision -- strictly inside any error budget).
-        for (const BatchItem& item : items)
+        for (const BatchItem& item : items) {
+            const SpectrumOut out = resolve_spectrum_out(
+                item.out, item.out_re, item.out_im, n_ / 2 + 1);
             transform(item.input,
                       item.window.empty() ? nullptr : item.window.data(),
-                      *item.out, scratch);
+                      out.re, out.im, out.stride, scratch);
+        }
         return;
     }
 
@@ -515,7 +574,9 @@ void RealFft::forward_windowed_batch(std::span<const BatchItem> items,
 
 void RealFft::forward(std::span<const double> input, std::vector<cplx>& out,
                       FftScratch& scratch) const {
-    transform(input, nullptr, out, scratch);
+    const SpectrumOut o =
+        resolve_spectrum_out(&out, nullptr, nullptr, n_ / 2 + 1);
+    transform(input, nullptr, o.re, o.im, o.stride, scratch);
 }
 
 void RealFft::forward_windowed(std::span<const double> input,
@@ -524,7 +585,31 @@ void RealFft::forward_windowed(std::span<const double> input,
                                FftScratch& scratch) const {
     if (window.size() != nz_)
         throw std::invalid_argument("RealFft::forward_windowed: window mismatch");
-    transform(input, window.data(), out, scratch);
+    const SpectrumOut o =
+        resolve_spectrum_out(&out, nullptr, nullptr, n_ / 2 + 1);
+    transform(input, window.data(), o.re, o.im, o.stride, scratch);
+}
+
+void RealFft::forward_soa(std::span<const double> input,
+                          std::vector<double>& out_re,
+                          std::vector<double>& out_im,
+                          FftScratch& scratch) const {
+    const SpectrumOut o =
+        resolve_spectrum_out(nullptr, &out_re, &out_im, n_ / 2 + 1);
+    transform(input, nullptr, o.re, o.im, o.stride, scratch);
+}
+
+void RealFft::forward_windowed_soa(std::span<const double> input,
+                                   std::span<const double> window,
+                                   std::vector<double>& out_re,
+                                   std::vector<double>& out_im,
+                                   FftScratch& scratch) const {
+    if (window.size() != nz_)
+        throw std::invalid_argument(
+            "RealFft::forward_windowed_soa: window mismatch");
+    const SpectrumOut o =
+        resolve_spectrum_out(nullptr, &out_re, &out_im, n_ / 2 + 1);
+    transform(input, window.data(), o.re, o.im, o.stride, scratch);
 }
 
 const Fft& fft_plan(std::size_t n) {

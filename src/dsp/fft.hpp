@@ -170,13 +170,32 @@ class RealFft {
                           std::span<const double> window,
                           std::vector<cplx>& out, FftScratch& scratch) const;
 
+    /// Structure-of-arrays variants: identical transforms, but the half
+    /// spectrum lands in separate re/im planes (each resized to
+    /// spectrum_size()) instead of an interleaved complex vector. Plane
+    /// element k is bit-identical to the complex overload's out[k] -- the
+    /// output layout is the only difference, which lets downstream SIMD
+    /// consumers (background subtraction, magnitude scans) stream the
+    /// planes with unit stride.
+    void forward_soa(std::span<const double> input, std::vector<double>& out_re,
+                     std::vector<double>& out_im, FftScratch& scratch) const;
+    void forward_windowed_soa(std::span<const double> input,
+                              std::span<const double> window,
+                              std::vector<double>& out_re,
+                              std::vector<double>& out_im,
+                              FftScratch& scratch) const;
+
     /// One member of a batched r2c pass. `input` follows the forward()
     /// contract (n_nonzero() samples); `window` is either empty (no window)
-    /// or n_nonzero() coefficients, per member.
+    /// or n_nonzero() coefficients, per member. The output is either an
+    /// interleaved complex vector (`out`) or, when `out` is null, a pair of
+    /// SoA planes (`out_re`/`out_im`) -- matching forward() vs forward_soa().
     struct BatchItem {
         std::span<const double> input;
         std::span<const double> window;
         std::vector<cplx>* out = nullptr;
+        std::vector<double>* out_re = nullptr;
+        std::vector<double>* out_im = nullptr;
     };
 
     /// Whether this plan can execute a true lane-interleaved batch pass
@@ -214,7 +233,8 @@ class RealFft {
   private:
     void init(std::size_t n_nonzero);
     void transform(std::span<const double> input, const double* window,
-                   std::vector<cplx>& out, FftScratch& scratch) const;
+                   double* out_re, double* out_im, std::size_t out_stride,
+                   FftScratch& scratch) const;
     void transform_batch(std::span<const BatchItem> items, FftScratch& scratch,
                          BatchPrecision precision) const;
 

@@ -7,6 +7,13 @@ void FftBatch::enqueue(const RealFft& plan, std::span<const double> input,
     items_.push_back({&plan, {input, window, &out}, false});
 }
 
+void FftBatch::enqueue(const RealFft& plan, std::span<const double> input,
+                       std::span<const double> window,
+                       std::vector<double>& out_re,
+                       std::vector<double>& out_im) {
+    items_.push_back({&plan, {input, window, nullptr, &out_re, &out_im}, false});
+}
+
 std::size_t FftBatch::run(FftScratch& scratch, BatchPrecision precision) {
     std::size_t batched = 0;
     // Stable O(n^2) grouping scan: n is the number of transforms staged in

@@ -29,6 +29,13 @@ class FftBatch {
     void enqueue(const RealFft& plan, std::span<const double> input,
                  std::span<const double> window, std::vector<cplx>& out);
 
+    /// SoA variant: the staged transform lands in separate re/im planes
+    /// (see RealFft::forward_windowed_soa). Same lifetime contract; SoA
+    /// and complex members freely share one batch pass.
+    void enqueue(const RealFft& plan, std::span<const double> input,
+                 std::span<const double> window, std::vector<double>& out_re,
+                 std::vector<double>& out_im);
+
     /// Transforms staged and not yet executed.
     std::size_t pending() const { return items_.size(); }
 

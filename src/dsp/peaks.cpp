@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/stats.hpp"
+#include "dsp/tail_kernels.hpp"
 
 namespace witrack::dsp {
 
@@ -31,21 +32,75 @@ std::vector<Peak> find_peaks(const std::vector<double>& values, double threshold
     return peaks;
 }
 
+void find_peaks_window(const double* values, std::size_t lo, std::size_t hi,
+                       double threshold, std::size_t min_separation,
+                       std::vector<double>& candidate_scratch,
+                       std::vector<Peak>& out) {
+    out.clear();
+    if (hi <= lo) return;
+    const std::size_t n = hi - lo;
+    if (n < 3) return;
+    if (min_separation == 0) min_separation = 1;
+
+    candidate_scratch.resize(n);
+    tail::peak_candidates(values + lo, n, threshold, candidate_scratch.data());
+
+    std::size_t last_accepted = 0;
+    bool have_accepted = false;
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+        if (candidate_scratch[j] == 0.0) continue;
+        const std::size_t i = lo + j;
+        if (have_accepted && i - last_accepted < min_separation) continue;
+        out.push_back(
+            {i, values[i], parabolic_peak_position_window(values, lo, hi, i)});
+        last_accepted = i;
+        have_accepted = true;
+    }
+}
+
 double parabolic_peak_position(const std::vector<double>& values, std::size_t bin) {
-    if (bin == 0 || bin + 1 >= values.size()) return static_cast<double>(bin);
+    return parabolic_peak_position_window(values.data(), 0, values.size(), bin);
+}
+
+double parabolic_peak_position_window(const double* values, std::size_t lo,
+                                      std::size_t hi, std::size_t bin) {
+    // Window-relative arithmetic shifted back by lo at the end, so the
+    // result is bitwise what the same call would produce on a copy of
+    // [lo, hi) -- lo = 0 degenerates to the plain form exactly.
+    if (bin <= lo || bin + 1 >= hi) return static_cast<double>(bin);
     const double left = values[bin - 1];
     const double center = values[bin];
     const double right = values[bin + 1];
     const double denom = left - 2.0 * center + right;
-    if (denom >= 0.0) return static_cast<double>(bin);  // not concave: no refinement
+    if (denom >= 0.0) return static_cast<double>(bin);  // not concave
     double offset = 0.5 * (left - right) / denom;
     offset = std::clamp(offset, -0.5, 0.5);
-    return static_cast<double>(bin) + offset;
+    return (static_cast<double>(bin - lo) + offset) + static_cast<double>(lo);
 }
 
 double noise_floor(const std::vector<double>& values, double pct) {
     if (values.empty()) throw std::invalid_argument("noise_floor: empty profile");
     return percentile(values, pct);
+}
+
+double noise_floor_inplace(std::vector<double>& values, double pct) {
+    if (values.empty()) throw std::invalid_argument("noise_floor: empty profile");
+    if (pct < 0.0 || pct > 100.0)
+        throw std::invalid_argument("percentile: p out of range");
+    // Same rank arithmetic as dsp::percentile; nth_element delivers the
+    // same order statistics a sort would, so the interpolated value is
+    // bit-identical to the sorting path.
+    const std::size_t n = values.size();
+    const double rank = pct / 100.0 * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = rank - static_cast<double>(lo);
+    auto nth = values.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(values.begin(), nth, values.end());
+    const double v_lo = *nth;
+    const double v_hi =
+        hi == lo ? v_lo : *std::min_element(nth + 1, values.end());
+    return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 }  // namespace witrack::dsp

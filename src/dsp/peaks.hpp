@@ -21,13 +21,37 @@ struct Peak {
 std::vector<Peak> find_peaks(const std::vector<double>& values, double threshold,
                              std::size_t min_separation = 1);
 
+/// Windowed, allocation-free form of find_peaks: treats values[lo, hi) as
+/// the profile ([lo, hi) plays the role the copied band played -- window
+/// edges are profile edges for both the candidate predicate and the
+/// parabolic fit), reports absolute indices/positions, and reuses the
+/// caller's scratch plane and output vector. The candidate predicate runs
+/// through the SIMD mask kernel (dsp::tail::peak_candidates); the
+/// min_separation pass stays scalar (it is sequential by definition).
+/// Equivalent to find_peaks on a copy of the window, shifted by lo.
+void find_peaks_window(const double* values, std::size_t lo, std::size_t hi,
+                       double threshold, std::size_t min_separation,
+                       std::vector<double>& candidate_scratch,
+                       std::vector<Peak>& out);
+
 /// Parabolic (three-point) interpolation of a peak's sub-bin position.
 /// Returns bin +/- 0.5 at most; falls back to the integer bin at the edges.
 double parabolic_peak_position(const std::vector<double>& values, std::size_t bin);
+
+/// Windowed variant: values[lo, hi) is the profile, `bin` is absolute, and
+/// the window edges (not the storage edges) suppress refinement.
+double parabolic_peak_position_window(const double* values, std::size_t lo,
+                                      std::size_t hi, std::size_t bin);
 
 /// Robust noise-floor estimate of a magnitude profile: the given percentile
 /// of all values (median by default). The contour threshold is a multiple
 /// of this floor.
 double noise_floor(const std::vector<double>& values, double pct = 50.0);
+
+/// In-place variant for preallocated scratch: selects the percentile with
+/// nth_element instead of a full sort (same order statistics, so the
+/// result is bit-identical to noise_floor on the same values) and reorders
+/// `values` in the process.
+double noise_floor_inplace(std::vector<double>& values, double pct = 50.0);
 
 }  // namespace witrack::dsp

@@ -17,7 +17,11 @@
 // hardware cannot honor fall back to the best supported level.
 #pragma once
 
+#include <bit>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <type_traits>
 
 #if defined(__SSE2__) || defined(__AVX2__)
 #include <immintrin.h>
@@ -58,12 +62,26 @@ Level force(Level level) noexcept;
 //   load / store      -- unaligned contiguous access
 //   set1              -- broadcast one element to all positions
 //   add / sub / mul   -- elementwise IEEE-754 arithmetic
+//   div / sqrt        -- correctly-rounded IEEE-754 divide / square root
+//   min / max         -- x86 minpd/maxpd semantics: min(a,b) = a < b ? a : b,
+//                        max(a,b) = a > b ? a : b (second operand wins on
+//                        equal or NaN), emulated exactly by the scalar lane
+//   cmplt/cmple/cmpgt/cmpge -- ordered compares producing an all-ones /
+//                        all-zeros bit mask per element (false for NaN)
+//   and_ / or_ / andnot -- bitwise mask ops (andnot(a, b) = ~a & b)
+//   blend             -- blend(mask, a, b): a where the mask is set, b
+//                        elsewhere (full-width masks only)
+//
+// div and sqrt are correctly rounded by IEEE-754, the compares and bit ops
+// are exact, and min/max share one tie/NaN rule across lanes -- so the new
+// ops keep the cross-level bit-identity contract the arithmetic trio set.
 
 /// Width-1 fallback lane; also the tail lane of every vector loop.
 template <class T>
 struct Scalar {
     using elem = T;
     using reg = T;
+    using bits = std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
     static constexpr std::size_t width = 1;
     static reg load(const elem* p) noexcept { return *p; }
     static void store(elem* p, reg v) noexcept { *p = v; }
@@ -71,6 +89,34 @@ struct Scalar {
     static reg add(reg a, reg b) noexcept { return a + b; }
     static reg sub(reg a, reg b) noexcept { return a - b; }
     static reg mul(reg a, reg b) noexcept { return a * b; }
+    static reg div(reg a, reg b) noexcept { return a / b; }
+    static reg sqrt(reg a) noexcept { return std::sqrt(a); }
+    static reg min(reg a, reg b) noexcept { return a < b ? a : b; }
+    static reg max(reg a, reg b) noexcept { return a > b ? a : b; }
+    static reg cmplt(reg a, reg b) noexcept { return mask(a < b); }
+    static reg cmple(reg a, reg b) noexcept { return mask(a <= b); }
+    static reg cmpgt(reg a, reg b) noexcept { return mask(a > b); }
+    static reg cmpge(reg a, reg b) noexcept { return mask(a >= b); }
+    static reg and_(reg a, reg b) noexcept {
+        return std::bit_cast<reg>(static_cast<bits>(std::bit_cast<bits>(a) &
+                                                    std::bit_cast<bits>(b)));
+    }
+    static reg or_(reg a, reg b) noexcept {
+        return std::bit_cast<reg>(static_cast<bits>(std::bit_cast<bits>(a) |
+                                                    std::bit_cast<bits>(b)));
+    }
+    static reg andnot(reg a, reg b) noexcept {
+        return std::bit_cast<reg>(static_cast<bits>(~std::bit_cast<bits>(a) &
+                                                    std::bit_cast<bits>(b)));
+    }
+    static reg blend(reg m, reg a, reg b) noexcept {
+        return or_(and_(m, a), andnot(m, b));
+    }
+
+  private:
+    static reg mask(bool b) noexcept {
+        return std::bit_cast<reg>(b ? static_cast<bits>(~bits{0}) : bits{0});
+    }
 };
 
 using ScalarD = Scalar<double>;
@@ -87,6 +133,20 @@ struct SseD {
     static reg add(reg a, reg b) noexcept { return _mm_add_pd(a, b); }
     static reg sub(reg a, reg b) noexcept { return _mm_sub_pd(a, b); }
     static reg mul(reg a, reg b) noexcept { return _mm_mul_pd(a, b); }
+    static reg div(reg a, reg b) noexcept { return _mm_div_pd(a, b); }
+    static reg sqrt(reg a) noexcept { return _mm_sqrt_pd(a); }
+    static reg min(reg a, reg b) noexcept { return _mm_min_pd(a, b); }
+    static reg max(reg a, reg b) noexcept { return _mm_max_pd(a, b); }
+    static reg cmplt(reg a, reg b) noexcept { return _mm_cmplt_pd(a, b); }
+    static reg cmple(reg a, reg b) noexcept { return _mm_cmple_pd(a, b); }
+    static reg cmpgt(reg a, reg b) noexcept { return _mm_cmpgt_pd(a, b); }
+    static reg cmpge(reg a, reg b) noexcept { return _mm_cmpge_pd(a, b); }
+    static reg and_(reg a, reg b) noexcept { return _mm_and_pd(a, b); }
+    static reg or_(reg a, reg b) noexcept { return _mm_or_pd(a, b); }
+    static reg andnot(reg a, reg b) noexcept { return _mm_andnot_pd(a, b); }
+    static reg blend(reg m, reg a, reg b) noexcept {
+        return or_(and_(m, a), andnot(m, b));
+    }
 };
 
 struct SseF {
@@ -99,6 +159,20 @@ struct SseF {
     static reg add(reg a, reg b) noexcept { return _mm_add_ps(a, b); }
     static reg sub(reg a, reg b) noexcept { return _mm_sub_ps(a, b); }
     static reg mul(reg a, reg b) noexcept { return _mm_mul_ps(a, b); }
+    static reg div(reg a, reg b) noexcept { return _mm_div_ps(a, b); }
+    static reg sqrt(reg a) noexcept { return _mm_sqrt_ps(a); }
+    static reg min(reg a, reg b) noexcept { return _mm_min_ps(a, b); }
+    static reg max(reg a, reg b) noexcept { return _mm_max_ps(a, b); }
+    static reg cmplt(reg a, reg b) noexcept { return _mm_cmplt_ps(a, b); }
+    static reg cmple(reg a, reg b) noexcept { return _mm_cmple_ps(a, b); }
+    static reg cmpgt(reg a, reg b) noexcept { return _mm_cmpgt_ps(a, b); }
+    static reg cmpge(reg a, reg b) noexcept { return _mm_cmpge_ps(a, b); }
+    static reg and_(reg a, reg b) noexcept { return _mm_and_ps(a, b); }
+    static reg or_(reg a, reg b) noexcept { return _mm_or_ps(a, b); }
+    static reg andnot(reg a, reg b) noexcept { return _mm_andnot_ps(a, b); }
+    static reg blend(reg m, reg a, reg b) noexcept {
+        return or_(and_(m, a), andnot(m, b));
+    }
 };
 #endif  // __SSE2__
 
@@ -113,6 +187,28 @@ struct AvxD {
     static reg add(reg a, reg b) noexcept { return _mm256_add_pd(a, b); }
     static reg sub(reg a, reg b) noexcept { return _mm256_sub_pd(a, b); }
     static reg mul(reg a, reg b) noexcept { return _mm256_mul_pd(a, b); }
+    static reg div(reg a, reg b) noexcept { return _mm256_div_pd(a, b); }
+    static reg sqrt(reg a) noexcept { return _mm256_sqrt_pd(a); }
+    static reg min(reg a, reg b) noexcept { return _mm256_min_pd(a, b); }
+    static reg max(reg a, reg b) noexcept { return _mm256_max_pd(a, b); }
+    static reg cmplt(reg a, reg b) noexcept {
+        return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+    }
+    static reg cmple(reg a, reg b) noexcept {
+        return _mm256_cmp_pd(a, b, _CMP_LE_OQ);
+    }
+    static reg cmpgt(reg a, reg b) noexcept {
+        return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+    }
+    static reg cmpge(reg a, reg b) noexcept {
+        return _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+    }
+    static reg and_(reg a, reg b) noexcept { return _mm256_and_pd(a, b); }
+    static reg or_(reg a, reg b) noexcept { return _mm256_or_pd(a, b); }
+    static reg andnot(reg a, reg b) noexcept { return _mm256_andnot_pd(a, b); }
+    static reg blend(reg m, reg a, reg b) noexcept {
+        return or_(and_(m, a), andnot(m, b));
+    }
 };
 
 struct AvxF {
@@ -125,6 +221,28 @@ struct AvxF {
     static reg add(reg a, reg b) noexcept { return _mm256_add_ps(a, b); }
     static reg sub(reg a, reg b) noexcept { return _mm256_sub_ps(a, b); }
     static reg mul(reg a, reg b) noexcept { return _mm256_mul_ps(a, b); }
+    static reg div(reg a, reg b) noexcept { return _mm256_div_ps(a, b); }
+    static reg sqrt(reg a) noexcept { return _mm256_sqrt_ps(a); }
+    static reg min(reg a, reg b) noexcept { return _mm256_min_ps(a, b); }
+    static reg max(reg a, reg b) noexcept { return _mm256_max_ps(a, b); }
+    static reg cmplt(reg a, reg b) noexcept {
+        return _mm256_cmp_ps(a, b, _CMP_LT_OQ);
+    }
+    static reg cmple(reg a, reg b) noexcept {
+        return _mm256_cmp_ps(a, b, _CMP_LE_OQ);
+    }
+    static reg cmpgt(reg a, reg b) noexcept {
+        return _mm256_cmp_ps(a, b, _CMP_GT_OQ);
+    }
+    static reg cmpge(reg a, reg b) noexcept {
+        return _mm256_cmp_ps(a, b, _CMP_GE_OQ);
+    }
+    static reg and_(reg a, reg b) noexcept { return _mm256_and_ps(a, b); }
+    static reg or_(reg a, reg b) noexcept { return _mm256_or_ps(a, b); }
+    static reg andnot(reg a, reg b) noexcept { return _mm256_andnot_ps(a, b); }
+    static reg blend(reg m, reg a, reg b) noexcept {
+        return or_(and_(m, a), andnot(m, b));
+    }
 };
 #endif  // __AVX2__
 

@@ -340,6 +340,22 @@ std::vector<Engine::StageStats> Engine::take_stage_stats() {
         stats.max_s = 0.0;
         stats.finish_s = 0.0;
     }
+    // Append the core pipeline's per-step profile (cycle counters from the
+    // tracker, same snapshot-and-reset window). The entries ride the same
+    // StageStats shape, so FleetStats rollups and the control plane's JSON
+    // rendering pick them up with no further plumbing.
+    const auto steps = tracker_.take_step_stats();
+    const auto append = [&](const char* name, const core::StepCounter& c) {
+        if (c.frames == 0) return;
+        snapshot.push_back(StageStats{name, static_cast<std::size_t>(c.frames),
+                                      c.total_seconds(), c.max_seconds(), 0.0});
+    };
+    append("pipeline.fft", steps.tof.fft);
+    append("pipeline.subtract", steps.tof.subtract);
+    append("pipeline.contour", steps.tof.contour);
+    append("pipeline.denoise", steps.tof.denoise);
+    append("pipeline.localize", steps.localize);
+    append("pipeline.smooth", steps.smooth);
     return snapshot;
 }
 

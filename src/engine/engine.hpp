@@ -41,7 +41,7 @@ namespace witrack::engine {
 
 /// Session snapshot wire format (Engine::snapshot / Engine::restore):
 /// the chunked, versioned, CRC-framed layout of common/serialize.hpp with
-/// this magic. Layout (version 1):
+/// this magic. Layout (version 2):
 ///
 ///   header:  magic u32 "WTSS" | version u32
 ///   "ENG ":  frames u64 | track_updates_published u64 | finished u8 |
@@ -50,8 +50,12 @@ namespace witrack::engine {
 ///   "SRC ":  FrameSource cursor (replay frame index, or sim RNG + motion)
 ///   "STG ":  stage count u64 | per stage: name str | stage state
 ///   "END ":  empty terminator chunk
+///
+/// Version 2 reframed the background-subtractor history inside "TRK ":
+/// the complex spectra became bulk-framed SoA re/im planes (one f64_vector
+/// record per plane) instead of per-element interleaved doubles.
 inline constexpr std::uint32_t kSnapshotMagic = 0x53535457u;  // "WTSS"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Lifecycle of one tracking session:
 ///
@@ -190,7 +194,13 @@ class Engine {
     /// Snapshot the per-stage stats and reset the running aggregates
     /// (frames, total_s, max_s, finish_s) so a long-running deployment can
     /// poll per-window means and p99-ish maxima without restarting the
-    /// Engine. Stage names persist across snapshots.
+    /// Engine. Stage names persist across snapshots. In addition to the
+    /// attached application stages, the snapshot appends one "pipeline.*"
+    /// entry per core pipeline step (fft, subtract, contour, denoise,
+    /// localize, smooth) with cycle-counter timing from the tracker --
+    /// per-antenna samples for the per-RX steps, so `frames` counts
+    /// (frame, antenna) pairs there. Steps with no samples in the window
+    /// are omitted.
     std::vector<StageStats> take_stage_stats();
 
     /// Serialize the full session state -- tracker, stages, source cursor,

@@ -553,10 +553,14 @@ TEST(Fleet, TakeFleetStatsSnapshotsAndResets) {
     EXPECT_EQ(window1.sessions[0].frames, 25u);
     EXPECT_GT(window1.sessions[0].total_step_s, 0.0);
     EXPECT_GE(window1.sessions[0].max_step_s, window1.sessions[0].mean_step_s());
-    // The per-stage rollup rides the same snapshot (take_stage_stats).
-    ASSERT_EQ(window1.sessions[0].stages.size(), 1u);
+    // The per-stage rollup rides the same snapshot (take_stage_stats);
+    // the demanded pipeline steps' cycle-counter entries follow the
+    // application stages.
+    ASSERT_GE(window1.sessions[0].stages.size(), 2u);
     EXPECT_EQ(window1.sessions[0].stages[0].name, "tof_tap");
     EXPECT_EQ(window1.sessions[0].stages[0].frames, 25u);
+    for (std::size_t i = 1; i < window1.sessions[0].stages.size(); ++i)
+        EXPECT_EQ(window1.sessions[0].stages[i].name.rfind("pipeline.", 0), 0u);
 
     // The window reset: a second take right after 10 more frames reports
     // only the new window, on both levels.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -15,7 +16,9 @@
 
 #include "common/frame_buffer.hpp"
 #include "core/background.hpp"
+#include "core/contour.hpp"
 #include "core/range_fft.hpp"
+#include "core/tof.hpp"
 #include "core/tracker.hpp"
 #include "dsp/fft.hpp"
 #include "sim/scenario.hpp"
@@ -152,13 +155,14 @@ TEST(FrameBufferTest, SpectraBitForBitAcrossEntryPoints) {
             core::RangeProfile contiguous;
             processor.process_into(frame.antenna(rx), frame.num_sweeps(), contiguous);
 
-            ASSERT_EQ(contiguous.spectrum.size(), batched[rx].spectrum.size());
+            ASSERT_EQ(contiguous.spectrum_size(), batched[rx].spectrum_size());
             EXPECT_EQ(contiguous.bin_round_trip_m, batched[rx].bin_round_trip_m);
             EXPECT_EQ(contiguous.usable_bins, batched[rx].usable_bins);
-            // Bit-for-bit: both paths run the identical arithmetic.
-            EXPECT_EQ(0, std::memcmp(contiguous.spectrum.data(),
-                                     batched[rx].spectrum.data(),
-                                     contiguous.spectrum.size() * sizeof(dsp::cplx)));
+            // Bit-for-bit, per SoA plane: both paths run identical arithmetic.
+            EXPECT_EQ(0, std::memcmp(contiguous.re.data(), batched[rx].re.data(),
+                                     contiguous.re.size() * sizeof(double)));
+            EXPECT_EQ(0, std::memcmp(contiguous.im.data(), batched[rx].im.data(),
+                                     contiguous.im.size() * sizeof(double)));
         }
     }
 }
@@ -246,6 +250,77 @@ TEST(FrameBufferTest, StaticTrainingSubtractSteadyStateDoesNotAllocate) {
     for (int pass = 0; pass < 10; ++pass) {
         processor.process_into(frame.antenna(0), frame.num_sweeps(), profile);
         background.subtract_into(profile, magnitude);
+    }
+    EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+TEST(FrameBufferTest, FullAnalysisTailSteadyStateDoesNotAllocate) {
+    // The whole post-FFT chain -- background subtract -> contour extraction
+    // -> gated re-detection -> denoise -> persistent TofFrame fill -- must
+    // be allocation-free once warm, in both background modes. Alternating
+    // two distinct frames keeps the frame-diff magnitudes nonzero so the
+    // contour, gate, and denoiser paths all run.
+    FmcwParams fmcw;
+    fmcw.sweep_duration_s = 250e-6;
+    const std::size_t n = fmcw.samples_per_sweep();
+    const FrameBuffer even = FrameBuffer::from_nested(make_nested(5, 2, n, 7));
+    const FrameBuffer odd = FrameBuffer::from_nested(make_nested(5, 2, n, 13));
+
+    core::PipelineConfig pipeline;
+    pipeline.fmcw = fmcw;
+    pipeline.fft_size = 512;
+    for (const bool static_training : {false, true}) {
+        core::TofEstimator estimator(pipeline, 2);
+        if (static_training) {
+            estimator.enable_static_training();
+            for (int i = 0; i < 3; ++i) estimator.train_background(even);
+        }
+        double t = 0.0;
+        for (int warm = 0; warm < 4; ++warm, t += 0.01)
+            estimator.process_frame(warm % 2 != 0 ? odd : even, t);
+
+        const std::size_t before = g_allocations.load();
+        for (int pass = 0; pass < 10; ++pass, t += 0.01) {
+            const auto& out = estimator.process_frame(pass % 2 != 0 ? odd : even, t);
+            ASSERT_EQ(out.antennas.size(), 2u);
+        }
+        EXPECT_EQ(g_allocations.load() - before, 0u)
+            << "static_training=" << static_training;
+    }
+}
+
+TEST(FrameBufferTest, GatedRedetectionWithWarmScratchDoesNotAllocate) {
+    // The gated re-detection pass in isolation: with a warm ContourScratch,
+    // extract + extract_near against the same profile must not allocate and
+    // must reuse the frame's cached noise floor (same band -> same floor).
+    std::mt19937 rng(17);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    std::vector<double> magnitude(256);
+    for (auto& v : magnitude) v = 0.05 * dist(rng);  // low noise floor
+    for (std::size_t i = 95; i < 115; ++i) {         // one strong body echo
+        const double d = static_cast<double>(i) - 105.0;
+        magnitude[i] += 5.0 * std::exp(-d * d / 18.0);
+    }
+    const double bin_m = 0.0375;
+
+    core::PipelineConfig pipeline;
+    const core::ContourTracker tracker(pipeline);
+    core::ContourScratch scratch;
+    scratch.start_frame();
+    const auto warm = tracker.extract(magnitude, bin_m, scratch);
+    ASSERT_TRUE(warm.detected);
+    tracker.extract_near(magnitude, bin_m, warm.round_trip_m, 0.7, scratch);
+
+    const std::size_t before = g_allocations.load();
+    for (int pass = 0; pass < 10; ++pass) {
+        scratch.start_frame();
+        const auto point = tracker.extract(magnitude, bin_m, scratch);
+        const auto gated = tracker.extract_near(magnitude, bin_m,
+                                                point.round_trip_m, 0.7, scratch);
+        EXPECT_TRUE(point.detected);
+        EXPECT_TRUE(gated.detected);
+        // Cache hit: the gated pass reuses the frame's full-band floor.
+        EXPECT_EQ(gated.noise_floor, point.noise_floor);
     }
     EXPECT_EQ(g_allocations.load() - before, 0u);
 }

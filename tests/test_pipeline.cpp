@@ -57,7 +57,7 @@ TEST(RangeFft, PeakAtEchoDistance) {
     const auto profile = process_sweeps(processor, {sweep_with_echo(config.fmcw, 12.0)});
     std::size_t best = 1;
     for (std::size_t k = 2; k < profile.usable_bins; ++k)
-        if (std::abs(profile.spectrum[k]) > std::abs(profile.spectrum[best])) best = k;
+        if (std::abs(profile.bin(k)) > std::abs(profile.bin(best))) best = k;
     EXPECT_NEAR(profile.round_trip_of_bin(static_cast<double>(best)), 12.0,
                 profile.bin_round_trip_m);
 }
@@ -81,10 +81,10 @@ TEST(RangeFft, AveragingReducesNoiseButKeepsSignal) {
         std::size_t n = 0;
         for (std::size_t k = 50; k < p.usable_bins; ++k) {
             if (k + 30 > bin && k < bin + 30) continue;
-            floor += std::abs(p.spectrum[k]);
+            floor += std::abs(p.bin(k));
             ++n;
         }
-        return std::abs(p.spectrum[bin]) / (floor / static_cast<double>(n));
+        return std::abs(p.bin(bin)) / (floor / static_cast<double>(n));
     };
     EXPECT_GT(peak_to_floor(five), 1.5 * peak_to_floor(one));
 }
@@ -95,7 +95,7 @@ TEST(RangeFft, PaperLiteralModeUsesSweepLength) {
     const auto profile = process_sweeps(processor, {sweep_with_echo(config.fmcw, 8.0)});
     // r2c half-spectrum contract: usable_bins + 1 bins (DC..Nyquist).
     EXPECT_EQ(profile.usable_bins, config.fmcw.samples_per_sweep() / 2);
-    EXPECT_EQ(profile.spectrum.size(), profile.usable_bins + 1);
+    EXPECT_EQ(profile.spectrum_size(), profile.usable_bins + 1);
     EXPECT_NEAR(profile.bin_round_trip_m, config.fmcw.round_trip_bin_m(), 1e-12);
 }
 
@@ -183,7 +183,8 @@ TEST(Background, StaticTrainingKeepsStaticPerson) {
 TEST(Background, TrainRequiresTrainingMode) {
     BackgroundSubtractor subtractor(BackgroundMode::kFrameDiff);
     RangeProfile profile;
-    profile.spectrum.resize(64);
+    profile.re.assign(64, 0.0);
+    profile.im.assign(64, 0.0);
     profile.usable_bins = 32;
     EXPECT_THROW(subtractor.train(profile), std::logic_error);
 }
@@ -281,6 +282,89 @@ TEST(Contour, GatedSearchFindsWeakEchoNearPrediction) {
     const auto gated = tracker.extract_near(mag, 0.108, 150 * 0.108, 0.7, 0.5);
     ASSERT_TRUE(gated.detected);
     EXPECT_NEAR(gated.round_trip_m, 150 * 0.108, 0.2);
+}
+
+TEST(Contour, GateClipsToLowBandEdge) {
+    // Prediction near the band's low edge (min_round_trip_m = 2.0 -> bin
+    // 18 at 0.108 m/bin): the gate clamps to the usable band, so leakage
+    // bins below it can never win even when they dwarf the real echo.
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[5] = 1000.0;  // TX leakage inside the unclipped gate window
+    mag[20] = 3.0;    // the person, just inside the band
+    const auto gated = tracker.extract_near(mag, 0.108, 2.2, 0.7, 0.5);
+    ASSERT_TRUE(gated.detected);
+    EXPECT_NEAR(gated.round_trip_m, 20 * 0.108, 0.2);
+}
+
+TEST(Contour, GateClipsToHighBandEdge) {
+    // Prediction beyond max_round_trip_m (28.0 -> last usable bin 259):
+    // the gate clamps to the band's top; a monster peak past the band is
+    // never considered, and an in-band echo at the clipped edge still is.
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[258] = 3.0;    // weak echo at the top of the band
+    mag[262] = 1000.0; // inside the unclipped gate, beyond max_round_trip_m
+    const auto gated = tracker.extract_near(mag, 0.108, 27.9, 0.7, 0.5);
+    ASSERT_TRUE(gated.detected);
+    EXPECT_NEAR(gated.round_trip_m, 258 * 0.108, 0.2);
+}
+
+TEST(Contour, GateFullyOutsideBandDoesNotDetect) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[5] = 1000.0;  // only energy sits below the band
+    // Prediction so far below min_round_trip_m that the clamped window is
+    // empty: no detection, no out-of-band read.
+    const auto gated = tracker.extract_near(mag, 0.108, 0.5, 0.5, 0.5);
+    EXPECT_FALSE(gated.detected);
+}
+
+TEST(Contour, GateAllBinsBelowThresholdReportsFloorOnly) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    const auto mag = flat_profile(2048, 1.0);  // nothing above 0.5 * 5x floor
+    const auto gated = tracker.extract_near(mag, 0.108, 10.0, 0.7, 0.5);
+    EXPECT_FALSE(gated.detected);
+    EXPECT_GT(gated.noise_floor, 0.0);  // the floor is still measured
+    EXPECT_EQ(gated.power, 0.0);
+}
+
+TEST(Contour, GateRelaxFactorScalesTheThreshold) {
+    // Echo at 3x floor: the global threshold is 5x, so detection hinges on
+    // relax -- 0.5 (threshold 2.5) finds it, 0.8 (threshold 4.0) does not.
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    auto mag = flat_profile(2048, 1.0);
+    mag[150] = 3.0;
+    EXPECT_TRUE(tracker.extract_near(mag, 0.108, 150 * 0.108, 0.7, 0.5).detected);
+    EXPECT_FALSE(tracker.extract_near(mag, 0.108, 150 * 0.108, 0.7, 0.8).detected);
+}
+
+TEST(Contour, SubEightBinProfilesNeverDetect) {
+    // Profiles below the 8-bin minimum: every entry point returns "no
+    // detection" (or nothing) instead of reading a degenerate band.
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    for (std::size_t bins = 0; bins < 8; ++bins) {
+        const auto mag = flat_profile(bins, 100.0);
+        EXPECT_FALSE(tracker.extract(mag, 0.108).detected) << bins;
+        EXPECT_FALSE(tracker.extract_strongest(mag, 0.108).detected) << bins;
+        EXPECT_FALSE(tracker.extract_near(mag, 0.108, 0.3, 0.5).detected) << bins;
+        EXPECT_TRUE(tracker.extract_peaks(mag, 0.108, 3).empty()) << bins;
+    }
+}
+
+TEST(Contour, StrongestAllBelowThresholdReportsFloorOnly) {
+    const auto config = test_config();
+    ContourTracker tracker(config);
+    const auto mag = flat_profile(2048, 1.0);
+    const auto point = tracker.extract_strongest(mag, 0.108);
+    EXPECT_FALSE(point.detected);
+    EXPECT_GT(point.noise_floor, 0.0);
 }
 
 // ---------------------------------------------------------------- denoise

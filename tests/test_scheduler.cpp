@@ -451,11 +451,21 @@ TEST(Scheduler, TakeStageStatsSnapshotsAndResets) {
 
     for (int i = 0; i < 25; ++i) ASSERT_TRUE(eng.step());
     const auto window1 = eng.take_stage_stats();
-    ASSERT_EQ(window1.size(), 1u);
+    // Application stages lead; the demanded pipeline steps' cycle-counter
+    // entries are appended after them (per-antenna samples for the per-RX
+    // steps, so their frames count (frame, antenna) pairs).
+    ASSERT_GE(window1.size(), 2u);
     EXPECT_EQ(window1[0].name, "fall_monitor");
     EXPECT_EQ(window1[0].frames, 25u);
     EXPECT_GT(window1[0].total_s, 0.0);
     EXPECT_GE(window1[0].max_s, window1[0].mean_s());
+    EXPECT_EQ(window1[1].name, "pipeline.fft");
+    for (std::size_t i = 1; i < window1.size(); ++i) {
+        EXPECT_EQ(window1[i].name.rfind("pipeline.", 0), 0u) << window1[i].name;
+        EXPECT_GT(window1[i].frames, 0u) << window1[i].name;
+        EXPECT_GT(window1[i].total_s, 0.0) << window1[i].name;
+        EXPECT_GE(window1[i].max_s, window1[i].mean_s()) << window1[i].name;
+    }
 
     // The running aggregates restarted; the stage identity did not.
     ASSERT_EQ(eng.stage_stats().size(), 1u);
