@@ -8,6 +8,7 @@
 // Run:  ./build/bench_fleet [output.json]
 //       ./build/bench_fleet --snapshot-json [output.json]
 //       ./build/bench_fleet --net-json [output.json]
+//       ./build/bench_fleet --fault-json [output.json]
 //
 // The --snapshot-json mode measures the session snapshot/restore path
 // instead: checkpoint latency, snapshot byte size and restore latency per
@@ -16,7 +17,14 @@
 // The --net-json mode measures the network ingestion path: a full episode
 // packed into WTNF datagrams and reassembled by a NetSource, swept across
 // injected loss rates, into bench/net_ingest.json.
+//
+// The --fault-json mode measures hardware-fault degradation: tracking
+// error versus injected antenna-dropout rate, plus the recovery latency
+// after a scheduled mid-run dropout window, into
+// bench/fault_degradation.json.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -30,6 +38,7 @@
 #include "engine/replay.hpp"
 #include "engine/sim_source.hpp"
 #include "harness.hpp"
+#include "hw/fault_injector.hpp"
 #include "net/datagram_source.hpp"
 #include "net/fault_injector.hpp"
 #include "net/frame_protocol.hpp"
@@ -336,11 +345,131 @@ int run_net_bench(const std::string& path) {
     return report.close();
 }
 
+// ------------------------------------------- hw fault degradation mode
+
+struct FaultPoint {
+    std::string label;
+    double dropout_rate = 0.0;
+    std::size_t frames = 0;
+    std::size_t degraded_frames = 0;
+    double mean_health = 1.0;
+    double mean_error_m = 0.0;
+    double p90_error_m = 0.0;
+    double recovery_s = -1.0;  ///< scheduled window only; -1 = n/a
+};
+
+/// One full episode under the given hardware faults, tracking error
+/// measured against the simulator's ground truth frame by frame.
+FaultPoint run_fault_episode(const std::string& label,
+                             const hw::FaultConfig& faults, bool has_faults,
+                             double window_end_s = -1.0) {
+    auto source = make_source(906);
+    if (has_faults)
+        source->set_fault_injector(std::make_unique<hw::FaultInjector>(faults));
+    engine::Engine session(session_config(906), std::move(source));
+
+    std::vector<double> errors;
+    double recovered_at = -1.0;
+    session.bus().subscribe<engine::TrackUpdateEvent>(
+        [&](const engine::TrackUpdateEvent& event) {
+            if (!event.smoothed || !event.truth) return;
+            const geom::Vec3 p = event.smoothed->position;
+            const geom::Vec3 t = event.truth->position;
+            errors.push_back(std::sqrt((p.x - t.x) * (p.x - t.x) +
+                                       (p.y - t.y) * (p.y - t.y) +
+                                       (p.z - t.z) * (p.z - t.z)));
+            if (window_end_s >= 0.0 && recovered_at < 0.0 &&
+                event.time_s >= window_end_s && event.confidence >= 1.0)
+                recovered_at = event.time_s;
+        });
+    session.run();
+
+    FaultPoint point;
+    point.label = label;
+    point.dropout_rate = faults.dropout_rate;
+    point.frames = session.quality_stats().frames;
+    point.degraded_frames = session.quality_stats().degraded_frames;
+    point.mean_health = session.quality_stats().mean_health();
+    if (!errors.empty()) {
+        double sum = 0.0;
+        for (const double e : errors) sum += e;
+        point.mean_error_m = sum / static_cast<double>(errors.size());
+        std::sort(errors.begin(), errors.end());
+        point.p90_error_m = errors[errors.size() * 9 / 10];
+    }
+    if (window_end_s >= 0.0 && recovered_at >= 0.0)
+        point.recovery_s = recovered_at - window_end_s;
+
+    std::printf("  %-18s  %4zu frames  %4zu degraded  health %5.3f  "
+                "err %5.3f m  p90 %5.3f m%s\n",
+                point.label.c_str(), point.frames, point.degraded_frames,
+                point.mean_health, point.mean_error_m, point.p90_error_m,
+                point.recovery_s >= 0.0
+                    ? ("  recovery " + std::to_string(point.recovery_s) + " s")
+                          .c_str()
+                    : "");
+    return point;
+}
+
+int run_fault_bench(const std::string& path) {
+    std::printf("hardware fault degradation sweep:\n");
+    std::vector<FaultPoint> points;
+    points.push_back(run_fault_episode("clean", hw::FaultConfig{}, false));
+    for (const double rate : {0.02, 0.05, 0.10}) {
+        hw::FaultConfig faults;
+        faults.dropout_rate = rate;
+        faults.seed = 77;
+        points.push_back(run_fault_episode(
+            "dropout-" + std::to_string(static_cast<int>(rate * 100)) + "pct",
+            faults, true));
+    }
+    // The acceptance shape: one antenna dead for a 0.4 s window mid-walk;
+    // recovery_s is the lag from the window's end until the published
+    // confidence returns to 1.0.
+    hw::FaultConfig scheduled;
+    scheduled.schedule.push_back(
+        {hw::FaultWindow::Kind::kDropout, 0.8, 1.2, 0, 1.0});
+    points.push_back(
+        run_fault_episode("scheduled-dropout", scheduled, true, 1.2));
+
+    bench::JsonReport report(
+        path, "bench_fleet --fault-json",
+        "one canonical episode (LineWalkScript, fast capture) per point, a "
+        "seeded hw::FaultInjector damaging frames at the source; error is "
+        "3D distance between the smoothed track and simulator ground truth "
+        "per frame; the scheduled-dropout point kills antenna 0 over "
+        "[0.8 s, 1.2 s) and reports the confidence recovery lag");
+    if (!report.ok()) return 1;
+    report.single_core_caveat("error/health/recovery figures are "
+                              "machine-independent (deterministic replay); "
+                              "only wall clock would differ");
+    std::FILE* out = report.stream();
+    std::fprintf(out, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& p = points[i];
+        std::fprintf(out,
+                     "    {\"label\": \"%s\", \"dropout_rate\": %.2f, "
+                     "\"frames\": %zu, \"degraded_frames\": %zu, "
+                     "\"mean_health\": %.4f, \"mean_error_m\": %.4f, "
+                     "\"p90_error_m\": %.4f, \"recovery_s\": %.4f}%s\n",
+                     p.label.c_str(), p.dropout_rate, p.frames,
+                     p.degraded_frames, p.mean_health, p.mean_error_m,
+                     p.p90_error_m, p.recovery_s,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+    return report.close();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc > 1 && std::string(argv[1]) == "--net-json") {
         return run_net_bench(argc > 2 ? argv[2] : "bench/net_ingest.json");
+    }
+    if (argc > 1 && std::string(argv[1]) == "--fault-json") {
+        return run_fault_bench(argc > 2 ? argv[2]
+                                        : "bench/fault_degradation.json");
     }
     if (argc > 1 && std::string(argv[1]) == "--snapshot-json") {
         return run_snapshot_bench(argc > 2 ? argv[2]

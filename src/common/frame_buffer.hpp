@@ -16,6 +16,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/frame_quality.hpp"
+
 namespace witrack {
 
 class FrameBuffer {
@@ -48,6 +50,13 @@ class FrameBuffer {
 
     double* data() { return data_.data(); }
     const double* data() const { return data_.data(); }
+
+    /// The frame's hardware-health side channel. Default-constructed
+    /// (pristine) unless a fault source marked the frame; producers that
+    /// reuse a buffer across frames are responsible for re-arming it
+    /// (hw::FaultInjector::apply resets it every call).
+    FrameQuality& quality() { return quality_; }
+    const FrameQuality& quality() const { return quality_; }
 
     /// One baseband sweep of one antenna (samples_per_sweep doubles).
     std::span<double> sweep(std::size_t rx, std::size_t s) {
@@ -133,6 +142,7 @@ class FrameBuffer {
     std::size_t num_sweeps_ = 0;
     std::size_t samples_ = 0;
     std::vector<double> data_;
+    FrameQuality quality_;
 };
 
 }  // namespace witrack

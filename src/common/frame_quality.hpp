@@ -1,0 +1,159 @@
+// Per-frame hardware health, carried alongside the sweep samples.
+//
+// A production front end degrades long before it dies: an ADC clips, a
+// PLL drifts, one RX cable goes bad. The pipeline can tolerate all of
+// that -- the geometry solves with 3 of 4 antennas, the Kalman filter can
+// coast a frame -- but only if each stage knows *which* lanes to distrust.
+// FrameQuality is that side channel: per-RX flags set by whatever damaged
+// the frame (hw::FaultInjector in test rigs, a driver in deployment) and
+// a scalar health score the smoothing/confidence stages consume.
+//
+// The zero-fault representation is an empty `rx` vector: a pristine frame
+// carries no per-lane state at all, every query returns the healthy
+// answer, and the pipeline's fast path is untouched bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace witrack {
+
+/// Health flags for one RX lane of one frame.
+struct RxQuality {
+    bool valid = true;       ///< lane produced usable sweeps (false = dead)
+    bool saturated = false;  ///< ADC clipped: exclude from background training
+    bool jitter = false;     ///< clock drift resampled this lane's sweeps
+    bool burst = false;      ///< impulsive noise burst hit this lane
+    std::uint32_t dropped_sweeps = 0;  ///< sweeps zeroed within the frame
+    std::uint32_t short_sweeps = 0;    ///< sweeps truncated (tail lost)
+
+    bool pristine() const {
+        return valid && !saturated && !jitter && !burst &&
+               dropped_sweeps == 0 && short_sweeps == 0;
+    }
+};
+
+/// The quality plane of one frame. Default-constructed (rx empty) means
+/// "no fault source touched this frame": all queries report healthy.
+struct FrameQuality {
+    std::vector<RxQuality> rx;  ///< per-lane flags; empty = pristine frame
+    bool clock_drift = false;   ///< frame-wide timebase drift detected
+    double health = 1.0;        ///< [0, 1]; 1.0 = pristine
+
+    bool pristine() const {
+        if (clock_drift || health != 1.0) return false;
+        for (const auto& lane : rx)
+            if (!lane.pristine()) return false;
+        return true;
+    }
+
+    /// Lane queries tolerate an empty (pristine) plane and out-of-range
+    /// indices so callers never branch on whether faults are wired up.
+    bool lane_valid(std::size_t r) const {
+        return r >= rx.size() || rx[r].valid;
+    }
+    bool lane_saturated(std::size_t r) const {
+        return r < rx.size() && rx[r].saturated;
+    }
+
+    std::size_t valid_lanes(std::size_t num_rx) const {
+        std::size_t n = 0;
+        for (std::size_t r = 0; r < num_rx; ++r)
+            if (lane_valid(r)) ++n;
+        return n;
+    }
+
+    /// Re-arm the plane for a frame about to be damaged: one default
+    /// (healthy) entry per lane, flags cleared.
+    void reset(std::size_t num_rx) {
+        rx.assign(num_rx, RxQuality{});
+        clock_drift = false;
+        health = 1.0;
+    }
+
+    /// Recompute the scalar health from the per-lane flags. Deterministic
+    /// and purely a function of the flags, so an identical fault pattern
+    /// always yields an identical score:
+    ///   lane  = 0 for a dead lane, else
+    ///           (1 - (dropped + short/2) / num_sweeps)
+    ///           * 0.5 if saturated * 0.7 if burst * 0.85 if jittered
+    ///   health = mean(lane) * (0.9 if clock_drift else 1)
+    void recompute_health(std::size_t num_sweeps) {
+        if (rx.empty()) {
+            health = clock_drift ? 0.9 : 1.0;
+            return;
+        }
+        double sum = 0.0;
+        for (const auto& lane : rx) {
+            if (!lane.valid) continue;
+            double score = 1.0;
+            if (num_sweeps > 0) {
+                const double lost =
+                    (static_cast<double>(lane.dropped_sweeps) +
+                     0.5 * static_cast<double>(lane.short_sweeps)) /
+                    static_cast<double>(num_sweeps);
+                score -= lost;
+                if (score < 0.0) score = 0.0;
+            }
+            if (lane.saturated) score *= 0.5;
+            if (lane.burst) score *= 0.7;
+            if (lane.jitter) score *= 0.85;
+            sum += score;
+        }
+        health = sum / static_cast<double>(rx.size());
+        if (clock_drift) health *= 0.9;
+    }
+};
+
+/// Aggregated quality accounting over many frames. Defined engine-side
+/// (like NetIngestStats) so the engine and host never depend on hw;
+/// hw::FaultInjector::Counters mirrors the fault fields one to one, which
+/// is what makes exact injector <-> pipeline accounting testable.
+struct QualityStats {
+    std::uint64_t frames = 0;           ///< frames observed
+    std::uint64_t degraded_frames = 0;  ///< frames with health < 1
+    std::uint64_t rx_dropouts = 0;      ///< lane-frames with a dead lane
+    std::uint64_t saturated_rx = 0;     ///< lane-frames that clipped
+    std::uint64_t dropped_sweeps = 0;   ///< sweeps zeroed in-frame
+    std::uint64_t short_sweeps = 0;     ///< sweeps truncated in-frame
+    std::uint64_t noise_bursts = 0;     ///< lane-frames hit by a burst
+    std::uint64_t drift_frames = 0;     ///< frames with clock drift
+    double health_sum = 0.0;            ///< sum of per-frame health
+    double min_health = 1.0;            ///< worst frame seen
+
+    void accumulate(const FrameQuality& q) {
+        ++frames;
+        if (q.health < 1.0) ++degraded_frames;
+        for (const auto& lane : q.rx) {
+            if (!lane.valid) ++rx_dropouts;
+            if (lane.saturated) ++saturated_rx;
+            dropped_sweeps += lane.dropped_sweeps;
+            short_sweeps += lane.short_sweeps;
+            if (lane.burst) ++noise_bursts;
+        }
+        if (q.clock_drift) ++drift_frames;
+        health_sum += q.health;
+        if (q.health < min_health) min_health = q.health;
+    }
+
+    QualityStats& operator+=(const QualityStats& other) {
+        frames += other.frames;
+        degraded_frames += other.degraded_frames;
+        rx_dropouts += other.rx_dropouts;
+        saturated_rx += other.saturated_rx;
+        dropped_sweeps += other.dropped_sweeps;
+        short_sweeps += other.short_sweeps;
+        noise_bursts += other.noise_bursts;
+        drift_frames += other.drift_frames;
+        health_sum += other.health_sum;
+        if (other.min_health < min_health) min_health = other.min_health;
+        return *this;
+    }
+
+    double mean_health() const {
+        return frames > 0 ? health_sum / static_cast<double>(frames) : 1.0;
+    }
+};
+
+}  // namespace witrack

@@ -32,12 +32,19 @@ std::vector<double> BackgroundSubtractor::subtract(const RangeProfile& profile) 
 }
 
 void BackgroundSubtractor::subtract_into(const RangeProfile& profile,
-                                         std::vector<double>& out) {
+                                         std::vector<double>& out,
+                                         bool update_history) {
     const std::size_t bins = profile.usable_bins;
     const std::size_t n = profile.spectrum_size();
 
     if (mode_ == BackgroundMode::kFrameDiff) {
         if (!has_previous_ || prev_re_.size() != n) {
+            if (!update_history) {
+                // A quarantined (saturated) frame must not become the
+                // differencer's first stored frame either.
+                out.clear();
+                return;
+            }
             // First frame (or a spectrum-shape change re-primes the
             // differencer). assign() reuses capacity once warm.
             prev_re_.assign(profile.re.begin(), profile.re.end());
@@ -46,10 +53,21 @@ void BackgroundSubtractor::subtract_into(const RangeProfile& profile,
             out.clear();  // nothing to difference yet
             return;
         }
+        out.resize(bins);
+        if (!update_history) {
+            // Read-only difference against the held history: with scale
+            // 1.0 the scaled kernel's magnitudes are bit-identical to
+            // diff_magnitude's (the *1.0 products are IEEE-exact), and
+            // the stored planes stay as they were.
+            dsp::tail::scaled_diff_magnitude(profile.re.data(),
+                                             profile.im.data(),
+                                             prev_re_.data(), prev_im_.data(),
+                                             1.0, out.data(), bins);
+            return;
+        }
         // Fused difference + magnitude + history update: one SIMD pass
         // reads the stored frame and replaces it in place, instead of a
         // subtract pass followed by a full-vector copy of the new spectrum.
-        out.resize(bins);
         dsp::tail::diff_magnitude(profile.re.data(), profile.im.data(),
                                   prev_re_.data(), prev_im_.data(), out.data(),
                                   bins);

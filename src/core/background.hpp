@@ -55,7 +55,16 @@ class BackgroundSubtractor {
     /// update are fused into one SIMD pass over the half-spectrum planes
     /// -- no per-frame full-vector copy -- and the whole path is
     /// allocation-free at steady state.
-    void subtract_into(const RangeProfile& profile, std::vector<double>& out);
+    ///
+    /// `update_history=false` computes the same magnitudes bit for bit but
+    /// leaves the stored history untouched -- how a saturated frame is
+    /// subtracted without its clipped spectrum becoming the next frame's
+    /// background. In kFrameDiff mode an unprimed subtractor then stays
+    /// unprimed (the damaged frame never becomes frame one of the
+    /// differencer); kStaticTraining subtraction never mutates history, so
+    /// the flag is a no-op there.
+    void subtract_into(const RangeProfile& profile, std::vector<double>& out,
+                       bool update_history = true);
 
     void reset();
 

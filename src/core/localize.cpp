@@ -26,7 +26,13 @@ Localizer::Localizer(const geom::ArrayGeometry& array, const PipelineConfig& con
 
 std::optional<TrackPoint> Localizer::locate_round_trips(
     const std::vector<double>& round_trips, double time_s, bool compensate_depth) const {
-    const auto result = solver_.solve(round_trips);
+    return locate_with(solver_, round_trips, time_s, compensate_depth);
+}
+
+std::optional<TrackPoint> Localizer::locate_with(
+    const geom::EllipsoidSolver& solver, const std::vector<double>& round_trips,
+    double time_s, bool compensate_depth) const {
+    const auto result = solver.solve(round_trips);
     if (!result.valid) return std::nullopt;
 
     TrackPoint point;
@@ -39,7 +45,7 @@ std::optional<TrackPoint> Localizer::locate_round_trips(
         // WiTrack ranges to the body surface facing the device; push the
         // estimate deeper along the horizontal device-to-body direction to
         // obtain the body centre the ground truth reports (Section 8a).
-        geom::Vec3 away = point.position - solver_.geometry().tx;
+        geom::Vec3 away = point.position - solver.geometry().tx;
         away.z = 0.0;
         if (away.norm() > 1e-6)
             point.position += away.normalized() * config_.surface_depth_m;
@@ -52,8 +58,44 @@ std::optional<TrackPoint> Localizer::locate_round_trips(
 }
 
 std::optional<TrackPoint> Localizer::locate(const TofFrame& frame) const {
-    if (!frame.all_valid()) return std::nullopt;
-    return locate_round_trips(frame.round_trips(), frame.time_s, true);
+    bool degraded = false;
+    for (const auto& antenna : frame.antennas)
+        if (!antenna.hw_valid) {
+            degraded = true;
+            break;
+        }
+    if (!degraded) {
+        // Healthy frame: the exact pre-quality-plane path, bit for bit.
+        if (!frame.all_valid()) return std::nullopt;
+        return locate_round_trips(frame.round_trips(), frame.time_s, true);
+    }
+
+    // Dropout fallback: solve on the live-antenna subset. Mirrors
+    // all_valid() over the surviving lanes -- every live lane must have a
+    // denoised distance -- and needs >= 3 of them for the ellipsoid
+    // intersection to fix a point.
+    if (frame.antennas.size() > solver_.geometry().rx.size())
+        return std::nullopt;
+    std::vector<std::size_t> lanes;
+    lanes.reserve(frame.antennas.size());
+    for (std::size_t i = 0; i < frame.antennas.size(); ++i) {
+        const auto& antenna = frame.antennas[i];
+        if (!antenna.hw_valid) continue;
+        if (!antenna.denoised_m) return std::nullopt;
+        lanes.push_back(i);
+    }
+    if (lanes.size() < 3) return std::nullopt;
+
+    geom::ArrayGeometry sub = solver_.geometry();
+    sub.rx.clear();
+    std::vector<double> round_trips;
+    round_trips.reserve(lanes.size());
+    for (const std::size_t i : lanes) {
+        sub.rx.push_back(solver_.geometry().rx[i]);
+        round_trips.push_back(*frame.antennas[i].denoised_m);
+    }
+    const geom::EllipsoidSolver sub_solver(sub);
+    return locate_with(sub_solver, round_trips, frame.time_s, true);
 }
 
 }  // namespace witrack::core

@@ -35,6 +35,11 @@ class Localizer {
     Localizer(const geom::ArrayGeometry& array, const PipelineConfig& config);
 
     /// Localize one TOF frame; nullopt until every antenna has a distance.
+    /// When the frame's quality plane marked RX lanes dead (hardware
+    /// dropout), localization falls back to the valid-antenna subset: the
+    /// paper's geometry is over-determined with 4 antennas, so >= 3 live
+    /// lanes still fix a 3D position (a temporary sub-array solver, built
+    /// only on degraded frames -- the healthy path never pays for it).
     std::optional<TrackPoint> locate(const TofFrame& frame) const;
 
     /// Localize explicit round-trip distances (used by the pointing
@@ -47,6 +52,13 @@ class Localizer {
     const geom::EllipsoidSolver& solver() const { return solver_; }
 
   private:
+    /// Shared tail of every locate path: solve on `solver`, then apply the
+    /// surface-depth compensation and elevation clamp.
+    std::optional<TrackPoint> locate_with(const geom::EllipsoidSolver& solver,
+                                          const std::vector<double>& round_trips,
+                                          double time_s,
+                                          bool compensate_depth) const;
+
     geom::EllipsoidSolver solver_;
     PipelineConfig config_;
 };

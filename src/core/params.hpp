@@ -74,6 +74,18 @@ struct PipelineConfig {
     double position_process_noise = 2.0;      ///< m/s^2
     double position_measurement_noise = 0.14; ///< m
 
+    /// Quality-aware smoothing (hw-robustness plane). On frames whose
+    /// health score h < 1 the position filter widens its measurement noise
+    /// by 1 / max(h, quality_noise_floor) -- degraded fixes pull the state
+    /// gently instead of yanking it -- and a measurement whose innovation
+    /// (distance from the predicted position) exceeds
+    /// quality_gate_innovation_m is rejected outright: the filter coasts
+    /// on its velocity for that frame rather than teleporting onto a
+    /// fault-corrupted fix. Healthy frames (h == 1) are untouched bit for
+    /// bit. Setting quality_gate_innovation_m = 0 disables the gate.
+    double quality_noise_floor = 0.25;
+    double quality_gate_innovation_m = 0.8;
+
     /// Keep per-frame subtracted profiles for figures / gesture analysis.
     bool record_profiles = false;
 

@@ -1,5 +1,8 @@
 #include "core/pipeline_steps.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/serialize.hpp"
 
 namespace witrack::core {
@@ -18,18 +21,42 @@ std::string to_string(PipelineOutputs v) {
 
 SmoothStep::SmoothStep(const PipelineConfig& config)
     : filter_(config.position_process_noise, config.position_measurement_noise),
-      frame_duration_s_(config.fmcw.frame_duration_s()) {}
+      frame_duration_s_(config.fmcw.frame_duration_s()),
+      quality_noise_floor_(config.quality_noise_floor),
+      gate_innovation_m_(config.quality_gate_innovation_m) {}
 
 std::optional<TrackPoint> SmoothStep::run(const std::optional<TrackPoint>& raw,
-                                          double time_s) {
+                                          double time_s, double health) {
     const double dt =
         have_last_time_ ? (time_s - last_time_s_) : frame_duration_s_;
     last_time_s_ = time_s;
     have_last_time_ = true;
 
     if (!raw) return std::nullopt;
-    const auto smoothed =
-        filter_.update({raw->position.x, raw->position.y, raw->position.z}, dt);
+
+    double noise_scale = 1.0;
+    if (health < 1.0) {
+        noise_scale = 1.0 / std::max(health, quality_noise_floor_);
+        if (filter_.initialized() && gate_innovation_m_ > 0.0) {
+            // Innovation gate: compare the degraded fix against the
+            // constant-velocity prediction. A fix further than the gate is
+            // a fault artifact, not human motion -- hold the filter on its
+            // prediction for this frame instead of fusing it.
+            const auto pos = filter_.position();
+            const auto vel = filter_.velocity();
+            const double dx = raw->position.x - (pos.x + vel.x * dt);
+            const double dy = raw->position.y - (pos.y + vel.y * dt);
+            const double dz = raw->position.z - (pos.z + vel.z * dt);
+            if (std::sqrt(dx * dx + dy * dy + dz * dz) > gate_innovation_m_) {
+                const auto coasted = filter_.predict_only(dt);
+                TrackPoint point = *raw;
+                point.position = {coasted.x, coasted.y, coasted.z};
+                return point;
+            }
+        }
+    }
+    const auto smoothed = filter_.update(
+        {raw->position.x, raw->position.y, raw->position.z}, dt, noise_scale);
     TrackPoint point = *raw;
     point.position = {smoothed.x, smoothed.y, smoothed.z};
     return point;

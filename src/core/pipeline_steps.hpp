@@ -125,8 +125,15 @@ class SmoothStep {
 
     /// Advance the dt bookkeeping and, when a raw position is present, fuse
     /// it; must be called on every frame the smoothed track is demanded.
+    /// `health` is the frame's quality score (FrameQuality::health): at 1.0
+    /// (the default, and every pristine frame) the step is bit-identical
+    /// to its pre-quality behavior. Below 1.0 the filter deweights the
+    /// measurement (noise widened by 1 / max(health, floor)) and rejects
+    /// it outright -- coasting on velocity instead -- when its innovation
+    /// exceeds the configured gate, so one fault-corrupted fix cannot
+    /// teleport the track.
     std::optional<TrackPoint> run(const std::optional<TrackPoint>& raw,
-                                  double time_s);
+                                  double time_s, double health = 1.0);
 
     void reset();
 
@@ -137,6 +144,8 @@ class SmoothStep {
   private:
     dsp::PositionKalman filter_;
     double frame_duration_s_;
+    double quality_noise_floor_;
+    double gate_innovation_m_;
     double last_time_s_ = 0.0;
     bool have_last_time_ = false;
 };

@@ -21,6 +21,7 @@ TofEstimator::TofEstimator(const PipelineConfig& config, std::size_t num_rx,
     magnitude_.resize(num_rx);
     contour_scratch_.resize(num_rx);
     step_slots_.resize(num_rx);
+    lane_flags_.resize(num_rx, kLaneOk);
 }
 
 void TofEstimator::enable_static_training() {
@@ -45,9 +46,33 @@ void TofEstimator::set_worker_pool(common::WorkerPool* pool) {
     if (pool_ != nullptr) processors_.ensure_lanes(per_rx_.size());
 }
 
+void TofEstimator::latch_quality(const FrameBuffer& frame) {
+    const FrameQuality& quality = frame.quality();
+    lane_flags_.assign(per_rx_.size(), kLaneOk);
+    if (quality.rx.empty()) return;  // pristine frame: nothing to latch
+    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
+        if (!quality.lane_valid(rx))
+            lane_flags_[rx] = kLaneDead;
+        else if (quality.lane_saturated(rx))
+            lane_flags_[rx] = kLaneSaturated;
+    }
+}
+
+void TofEstimator::mark_dead(AntennaFrame& out) {
+    out.contour = ContourPoint{};
+    out.denoised_m.reset();
+    out.peaks.clear();
+    out.profile.clear();
+    out.hw_valid = false;
+}
+
 void TofEstimator::process_rx(std::size_t rx, SweepProcessor& processor,
                               const FrameBuffer& frame, double dt,
                               AntennaFrame& out) {
+    if (lane_flags_[rx] == kLaneDead) {
+        mark_dead(out);
+        return;
+    }
     {
         ScopedStepTimer timer(step_slots_[rx].fft);
         processor.process_into(frame.antenna(rx), frame.num_sweeps(),
@@ -63,12 +88,19 @@ void TofEstimator::post_rx(std::size_t rx, double dt, AntennaFrame& out) {
     auto& scratch = contour_scratch_[rx];
     auto& slot = step_slots_[rx];
     {
+        // A saturated lane still localizes off its subtracted profile, but
+        // the clipped spectrum must not poison the background history the
+        // next frames subtract against (kFrameDiff previous frame /
+        // kStaticTraining running model): read-only subtraction.
         ScopedStepTimer timer(slot.subtract);
-        antenna_state.background.subtract_into(profile, magnitude);
+        antenna_state.background.subtract_into(
+            profile, magnitude,
+            /*update_history=*/lane_flags_[rx] != kLaneSaturated);
     }
 
     // The output frame is persistent: reset the fields this frame may not
     // write (clear()/copy-assign reuse capacity, so no allocations).
+    out.hw_valid = true;
     out.contour = ContourPoint{};
     out.peaks.clear();
     scratch.start_frame();  // new profile: invalidate the noise-floor cache
@@ -131,6 +163,7 @@ const TofFrame& TofEstimator::process_frame(const FrameBuffer& frame,
 
     frame_out_.time_s = time_s;
     frame_out_.antennas.resize(per_rx_.size());
+    latch_quality(frame);
 
     const double dt = config_.fmcw.frame_duration_s();
 
@@ -156,13 +189,18 @@ void TofEstimator::stage_frame(const FrameBuffer& frame, double time_s,
     if (frame.num_rx() < per_rx_.size())
         throw std::invalid_argument("TofEstimator: missing antenna in sweep data");
     staged_time_s_ = time_s;
+    latch_quality(frame);
     // One FFT lane per antenna so every staged transform's averaging
     // buffer is distinct. Lanes are identically configured, so lane(rx)
     // produces bit-identically what the serial path's lane(0) would.
     processors_.ensure_lanes(per_rx_.size());
-    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx)
+    for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
+        // Dead lanes stage no transform (the serial path skips their FFT
+        // too, so serial/batched parity holds under faults as well).
+        if (lane_flags_[rx] == kLaneDead) continue;
         processors_.lane(rx).stage_into(frame.antenna(rx), frame.num_sweeps(),
                                         profiles_[rx], batch);
+    }
 }
 
 const TofFrame& TofEstimator::finish_frame() {
@@ -170,6 +208,10 @@ const TofFrame& TofEstimator::finish_frame() {
     frame_out_.antennas.resize(per_rx_.size());
     const double dt = config_.fmcw.frame_duration_s();
     for (std::size_t rx = 0; rx < per_rx_.size(); ++rx) {
+        if (lane_flags_[rx] == kLaneDead) {
+            mark_dead(frame_out_.antennas[rx]);
+            continue;
+        }
         {
             // The transform itself ran inside the caller's batch; only the
             // metadata fill lands in the FFT step here.
@@ -233,6 +275,7 @@ void save_state(common::StateWriter& writer, const AntennaFrame& antenna) {
     writer.u64(antenna.peaks.size());
     for (const auto& peak : antenna.peaks) save_state(writer, peak);
     writer.f64_vector(antenna.profile);
+    writer.boolean(antenna.hw_valid);
 }
 
 void load_state(common::StateReader& reader, AntennaFrame& antenna) {
@@ -244,6 +287,7 @@ void load_state(common::StateReader& reader, AntennaFrame& antenna) {
     antenna.peaks.resize(reader.count(sizeof(double)));
     for (auto& peak : antenna.peaks) load_state(reader, peak);
     antenna.profile = reader.f64_vector();
+    antenna.hw_valid = reader.boolean();
 }
 
 void save_state(common::StateWriter& writer, const TofFrame& frame) {

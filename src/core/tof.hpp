@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct AntennaFrame {
     std::optional<double> denoised_m;     ///< cleaned round-trip distance
     std::vector<ContourPoint> peaks;      ///< multi-peak output (if enabled)
     std::vector<double> profile;          ///< subtracted magnitudes (if recording)
+    /// False when the frame's quality plane declared this RX lane dead
+    /// (hardware dropout): the chain was skipped, denoised_m is empty, and
+    /// the lane's background/denoiser state was held, not updated.
+    bool hw_valid = true;
 };
 
 struct TofFrame {
@@ -174,6 +179,14 @@ class TofEstimator {
     /// antenna's finalized range profile) and updates rx-indexed state.
     void post_rx(std::size_t rx, double dt, AntennaFrame& out);
 
+    /// Latch the frame's quality plane into lane_flags_ (done once per
+    /// frame, before any per-RX work, so the parallel fan-out only reads).
+    void latch_quality(const FrameBuffer& frame);
+
+    /// Emit the dead-lane observation: empty, hw_valid=false, per-antenna
+    /// state untouched (background and denoiser hold across the dropout).
+    static void mark_dead(AntennaFrame& out);
+
     /// Merge every per-RX step-counter slot into the rolled-up stats
     /// (called after the per-frame join; the slots are then zeroed).
     void roll_up_steps();
@@ -190,6 +203,12 @@ class TofEstimator {
     StepStats step_stats_;                        ///< rolled up across rx
     TofFrame frame_out_;                          ///< persistent result frame
     double staged_time_s_ = 0.0;                  ///< timestamp of the staged frame
+
+    /// Per-lane quality latched from the current frame: kLaneOk runs the
+    /// unchanged chain, kLaneSaturated excludes the frame from background
+    /// history/training, kLaneDead skips the chain entirely.
+    enum : std::uint8_t { kLaneOk = 0, kLaneSaturated = 1, kLaneDead = 2 };
+    std::vector<std::uint8_t> lane_flags_;
 };
 
 /// Value-type serialization for recorded TOF observations (used by stages

@@ -56,6 +56,8 @@ const WiTrackTracker::FrameResult& WiTrackTracker::process_frame(
     result_.raw.reset();
     result_.smoothed.reset();
 
+    const double health = frame.quality().health;
+
     if (demands(demanded, PipelineOutputs::kTof)) {
         tof_step_.run(frame, time_s, result_.tof);
     } else {
@@ -74,12 +76,19 @@ const WiTrackTracker::FrameResult& WiTrackTracker::process_frame(
 
     if (demands(demanded, PipelineOutputs::kSmoothedTrack)) {
         ScopedStepTimer timer(smooth_steps_);
-        result_.smoothed = smooth_step_.run(result_.raw, time_s);
+        result_.smoothed = smooth_step_.run(result_.raw, time_s, health);
         if (result_.smoothed) {
             track_.push_back(*result_.smoothed);
             trim_history(track_);
         }
     }
+
+    // Confidence: the hardware health of this frame, zeroed when
+    // localization was demanded but could not produce a fix at all.
+    result_.confidence =
+        demands(demanded, PipelineOutputs::kRawPosition) && !result_.raw
+            ? 0.0
+            : health;
 
     const auto t1 = std::chrono::steady_clock::now();
     result_.processing_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -106,6 +115,7 @@ void WiTrackTracker::stage_frame(const FrameBuffer& frame, double time_s,
 
     staged_demanded_ = demanded;
     staged_time_s_ = time_s;
+    staged_health_ = frame.quality().health;
     if (demands(demanded, PipelineOutputs::kTof))
         tof_step_.estimator().stage_frame(frame, time_s, batch);
 
@@ -139,12 +149,19 @@ const WiTrackTracker::FrameResult& WiTrackTracker::finish_frame() {
 
     if (demands(staged_demanded_, PipelineOutputs::kSmoothedTrack)) {
         ScopedStepTimer timer(smooth_steps_);
-        result_.smoothed = smooth_step_.run(result_.raw, staged_time_s_);
+        result_.smoothed =
+            smooth_step_.run(result_.raw, staged_time_s_, staged_health_);
         if (result_.smoothed) {
             track_.push_back(*result_.smoothed);
             trim_history(track_);
         }
     }
+
+    // Same confidence rule as process_frame (split-step parity).
+    result_.confidence =
+        demands(staged_demanded_, PipelineOutputs::kRawPosition) && !result_.raw
+            ? 0.0
+            : staged_health_;
 
     const auto t1 = std::chrono::steady_clock::now();
     result_.processing_seconds =

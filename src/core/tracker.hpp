@@ -38,6 +38,11 @@ class WiTrackTracker {
         std::optional<TrackPoint> smoothed; ///< Kalman-smoothed 3D position
         double processing_seconds = 0.0;    ///< wall-clock pipeline latency
         PipelineOutputs computed = PipelineOutputs::kNone;  ///< steps that ran
+        /// Track confidence for this frame: the frame's hardware health
+        /// score, zeroed when localization was demanded but produced no
+        /// fix. 1.0 on every pristine frame, dips while faults are active
+        /// and recovers with the hardware.
+        double confidence = 1.0;
     };
 
     /// Process one frame of sweeps (contiguous rx-major storage) through the
@@ -132,6 +137,7 @@ class WiTrackTracker {
     PipelineOutputs staged_demanded_ = PipelineOutputs::kNone;
     double staged_time_s_ = 0.0;
     double staged_elapsed_s_ = 0.0;
+    double staged_health_ = 1.0;  ///< quality score of the staged frame
     FrameResult result_;  ///< persistent per-frame result, reused every frame
     StepCounter localize_steps_, smooth_steps_;
     std::vector<TrackPoint> track_;

@@ -110,13 +110,21 @@ void PositionKalman::predict(double dt) {
 }
 
 PositionKalman::Position PositionKalman::update(const Position& measurement, double dt) {
+    return update(measurement, dt, 1.0);
+}
+
+PositionKalman::Position PositionKalman::update(const Position& measurement, double dt,
+                                                double noise_scale) {
+    // noise_scale = 1.0 multiplies exactly (IEEE), so the healthy path is
+    // bit-identical to the historical two-argument update.
+    const double r_eff = r_ * noise_scale;
     if (!initialized_) {
         state_(0, 0) = measurement.x;
         state_(1, 0) = measurement.y;
         state_(2, 0) = measurement.z;
         covariance_ = Matrix<6, 6>::identity();
         for (std::size_t axis = 0; axis < 3; ++axis) {
-            covariance_(axis, axis) = r_ * r_;
+            covariance_(axis, axis) = r_eff * r_eff;
             covariance_(axis + 3, axis + 3) = q_ * q_;
         }
         initialized_ = true;
@@ -127,7 +135,7 @@ PositionKalman::Position PositionKalman::update(const Position& measurement, dou
     Matrix<3, 3> s;
     for (std::size_t r = 0; r < 3; ++r)
         for (std::size_t c = 0; c < 3; ++c) s(r, c) = covariance_(r, c);
-    for (std::size_t i = 0; i < 3; ++i) s(i, i) += r_ * r_;
+    for (std::size_t i = 0; i < 3; ++i) s(i, i) += r_eff * r_eff;
     const Matrix<3, 3> s_inv = s.inverse();
 
     // K = P H^T S^-1 is 6x3; P H^T is the first three columns of P.

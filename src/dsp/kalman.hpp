@@ -63,6 +63,14 @@ class PositionKalman {
     };
 
     Position update(const Position& measurement, double dt);
+
+    /// update() with the measurement noise std dev widened to
+    /// r * noise_scale for this one fusion -- how the tracker deweights a
+    /// fix computed from a degraded (low-health) frame without touching
+    /// the filter's configuration. noise_scale = 1 is bit-identical to
+    /// the two-argument update (the scale multiplies r exactly).
+    Position update(const Position& measurement, double dt, double noise_scale);
+
     Position predict_only(double dt);
 
     bool initialized() const { return initialized_; }

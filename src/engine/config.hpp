@@ -37,6 +37,9 @@ struct EngineConfig {
     bool through_wall = true;
     double antenna_separation_m = 1.0;
     double device_height_m = 1.3;
+    /// Add the redundant fourth receive antenna (4-RX cross array): the
+    /// localizer can then drop any one antenna and keep a 3D fix.
+    bool cross_array = false;
 
     /// Simulation reproducibility and speed knobs (ignored by live sources).
     std::uint64_t seed = 1;
@@ -73,6 +76,10 @@ struct EngineConfig {
     }
     EngineConfig& with_through_wall(bool enabled) {
         through_wall = enabled;
+        return *this;
+    }
+    EngineConfig& with_cross_array(bool enabled) {
+        cross_array = enabled;
         return *this;
     }
     EngineConfig& with_fast_capture(bool enabled) {

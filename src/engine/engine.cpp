@@ -120,6 +120,7 @@ bool Engine::step() {
         return false;
     }
     if (state_ == SessionState::kAdmitted) state_ = SessionState::kRunning;
+    quality_stats_.accumulate(frame_.sweeps.quality());
 
     result_ = tracker_.process_frame(frame_.sweeps, frame_.time_s,
                                      demanded_outputs());
@@ -137,6 +138,7 @@ bool Engine::begin_step(dsp::FftBatch& batch) {
         return false;
     }
     if (state_ == SessionState::kAdmitted) state_ = SessionState::kRunning;
+    quality_stats_.accumulate(frame_.sweeps.quality());
 
     tracker_.stage_frame(frame_.sweeps, frame_.time_s, demanded_outputs(),
                          batch);
@@ -159,6 +161,7 @@ void Engine::complete_frame() {
         update.smoothed = result_.smoothed;
         update.processing_seconds = result_.processing_seconds;
         update.truth = frame_.truth;
+        update.confidence = result_.confidence;
         bus_.publish(update);
         ++track_updates_published_;
     }
@@ -263,6 +266,19 @@ void Engine::snapshot(std::ostream& out) const {
     writer.boolean(finished_);
     writer.u8(static_cast<std::uint8_t>(state_));
     writer.u64(session_id_);
+    // Quality accounting (snapshot v3): a restored session keeps reporting
+    // cumulative fault counters, so injector <-> pipeline accounting stays
+    // exact across a checkpoint/restore cycle.
+    writer.u64(quality_stats_.frames);
+    writer.u64(quality_stats_.degraded_frames);
+    writer.u64(quality_stats_.rx_dropouts);
+    writer.u64(quality_stats_.saturated_rx);
+    writer.u64(quality_stats_.dropped_sweeps);
+    writer.u64(quality_stats_.short_sweeps);
+    writer.u64(quality_stats_.noise_bursts);
+    writer.u64(quality_stats_.drift_frames);
+    writer.f64(quality_stats_.health_sum);
+    writer.f64(quality_stats_.min_health);
     writer.end_chunk();
 
     writer.begin_chunk("TRK ");
@@ -299,6 +315,17 @@ void Engine::restore(std::istream& in) {
     const bool finished = reader.boolean();
     const auto state = reader.u8();
     const auto session_id = reader.u64();
+    QualityStats quality;
+    quality.frames = reader.u64();
+    quality.degraded_frames = reader.u64();
+    quality.rx_dropouts = reader.u64();
+    quality.saturated_rx = reader.u64();
+    quality.dropped_sweeps = reader.u64();
+    quality.short_sweeps = reader.u64();
+    quality.noise_bursts = reader.u64();
+    quality.drift_frames = reader.u64();
+    quality.health_sum = reader.f64();
+    quality.min_health = reader.f64();
     if (state > static_cast<std::uint8_t>(SessionState::kEvicted))
         throw std::runtime_error("Engine: corrupt session state in snapshot");
     reader.close_chunk();
@@ -330,6 +357,7 @@ void Engine::restore(std::istream& in) {
     finished_ = finished;
     state_ = static_cast<SessionState>(state);
     session_id_ = session_id;
+    quality_stats_ = quality;
 }
 
 std::vector<Engine::StageStats> Engine::take_stage_stats() {

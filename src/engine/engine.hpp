@@ -54,8 +54,13 @@ namespace witrack::engine {
 /// Version 2 reframed the background-subtractor history inside "TRK ":
 /// the complex spectra became bulk-framed SoA re/im planes (one f64_vector
 /// record per plane) instead of per-element interleaved doubles.
+///
+/// Version 3 (hw-robustness plane) appended the session's cumulative
+/// QualityStats to "ENG ", an hw_valid flag to every serialized
+/// AntennaFrame inside "TRK ", and -- for sim sources with a fault
+/// injector attached -- the injector's RNG cursor and counters to "SRC ".
 inline constexpr std::uint32_t kSnapshotMagic = 0x53535457u;  // "WTSS"
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Lifecycle of one tracking session:
 ///
@@ -176,6 +181,13 @@ class Engine {
     /// these into FleetStats per session.
     std::optional<NetIngestStats> net_stats() const { return source_->net_stats(); }
 
+    /// Cumulative hardware-quality accounting over every frame this session
+    /// pulled (one accumulate per frame, from the frame's quality plane).
+    /// All-healthy streams show frames == frames_processed() and every
+    /// fault counter at zero. EngineHost reads deltas of this for its
+    /// health watchdog and rolls it into FleetStats.
+    const QualityStats& quality_stats() const { return quality_stats_; }
+
     /// Wall-clock accounting per application stage. total_s / mean_s /
     /// max_s cover the per-frame on_frame() calls; the one-shot finish()
     /// work (episode-scoped analysis) is reported separately in finish_s.
@@ -263,6 +275,7 @@ class Engine {
     std::vector<StageStats> stage_stats_;
     core::WiTrackTracker::FrameResult result_;  ///< current frame's outputs
     Frame frame_;                     ///< reused across step() calls
+    QualityStats quality_stats_;      ///< per-frame quality plane, aggregated
     std::size_t frames_ = 0;
     std::size_t track_updates_published_ = 0;
     bool finished_ = false;           ///< stage finish() already delivered

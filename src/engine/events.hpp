@@ -31,6 +31,10 @@ struct TrackUpdateEvent {
     std::optional<core::TrackPoint> smoothed; ///< Kalman-smoothed 3D position
     double processing_seconds = 0.0;          ///< pipeline latency this frame
     std::optional<GroundTruth> truth;         ///< evaluation reference, if known
+    /// Track confidence: the frame's hardware health score, zeroed when
+    /// localization was demanded but produced no fix. 1.0 on pristine
+    /// frames; dips while hardware faults are active and recovers.
+    double confidence = 1.0;
 };
 
 /// Published by the fall-monitor stage the moment a fall completes.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -59,6 +60,21 @@ void append_field(std::string& out, const char* key, double value,
     out += buf;
 }
 
+void append_quality(std::string& out, const QualityStats& quality) {
+    out += "{";
+    append_field(out, "frames", quality.frames, false);
+    append_field(out, "degraded_frames", quality.degraded_frames);
+    append_field(out, "rx_dropouts", quality.rx_dropouts);
+    append_field(out, "saturated_rx", quality.saturated_rx);
+    append_field(out, "dropped_sweeps", quality.dropped_sweeps);
+    append_field(out, "short_sweeps", quality.short_sweeps);
+    append_field(out, "noise_bursts", quality.noise_bursts);
+    append_field(out, "drift_frames", quality.drift_frames);
+    append_field(out, "mean_health", quality.mean_health());
+    append_field(out, "min_health", quality.min_health);
+    out += "}";
+}
+
 void append_net(std::string& out, const NetIngestStats& net) {
     out += "{";
     append_field(out, "datagrams", net.datagrams, false);
@@ -99,8 +115,12 @@ std::string to_json(const FleetStats& stats) {
                  static_cast<std::uint64_t>(stats.queued_sessions));
     append_field(out, "fft_batched",
                  static_cast<std::uint64_t>(stats.fft_batched));
+    append_field(out, "sessions_restarted",
+                 static_cast<std::uint64_t>(stats.sessions_restarted));
     out += ",\"net\":";
     append_net(out, stats.net);
+    out += ",\"quality\":";
+    append_quality(out, stats.quality);
     out += ",\"sessions\":[";
     for (std::size_t i = 0; i < stats.sessions.size(); ++i) {
         const SessionStats& session = stats.sessions[i];
@@ -115,6 +135,14 @@ std::string to_json(const FleetStats& stats) {
         append_field(out, "frames", static_cast<std::uint64_t>(session.frames));
         append_field(out, "mean_step_ms", session.mean_step_s() * 1e3);
         append_field(out, "max_step_ms", session.max_step_s * 1e3);
+        append_field(out, "health", session.recent_health);
+        if (session.restarts > 0)
+            append_field(out, "restarts",
+                         static_cast<std::uint64_t>(session.restarts));
+        if (session.quality.degraded_frames > 0) {
+            out += ",\"quality\":";
+            append_quality(out, session.quality);
+        }
         if (!session.fault.empty()) {
             out += ",\"fault\":";
             append_json_string(out, session.fault);
@@ -177,6 +205,25 @@ SessionId EngineHost::admit(std::string name, EngineConfig config,
     const SessionId id = session->id;
     sessions_.push_back(std::move(session));
     ++admitted_total_;
+    return id;
+}
+
+SessionId EngineHost::admit_restartable(
+    std::string name, EngineConfig config, SourceFactory factory,
+    const std::function<void(Engine&)>& wire_stages) {
+    if (!factory)
+        throw std::invalid_argument(
+            "EngineHost: admit_restartable needs a source factory");
+    auto source = factory();
+    // Wire the initial incarnation exactly as a restart would.
+    EngineConfig config_copy = config;
+    const SessionId id = admit(std::move(name), std::move(config),
+                               std::move(source));
+    Session* session = find(id);
+    session->engine_config = std::move(config_copy);
+    session->factory = std::move(factory);
+    session->wire_stages = wire_stages;
+    if (session->wire_stages) session->wire_stages(*session->engine);
     return id;
 }
 
@@ -329,8 +376,73 @@ std::size_t EngineHost::step_all() {
     settle();
     const std::size_t processed =
         config_.batch_fft ? round_batched() : round_serial();
+    watch_health();
     ++rounds_;
     return processed;
+}
+
+void EngineHost::watch_health() {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        Session& session = *sessions_[i];
+        if (session.queued || terminal(session)) continue;
+        // Quality deltas since the last round roll into this session's
+        // tumbling watchdog window. Restarts keep the marks consistent:
+        // the restored engine resumes the cumulative counters.
+        const QualityStats& cumulative = session.engine->quality_stats();
+        if (cumulative.frames < session.mark_frames) {
+            // Caller restored this engine out-of-band to an older cursor;
+            // re-anchor instead of producing a negative delta.
+            session.mark_frames = cumulative.frames;
+            session.mark_health_sum = cumulative.health_sum;
+            continue;
+        }
+        session.window_frames += cumulative.frames - session.mark_frames;
+        session.window_health_sum +=
+            cumulative.health_sum - session.mark_health_sum;
+        session.mark_frames = cumulative.frames;
+        session.mark_health_sum = cumulative.health_sum;
+        if (session.window_frames == 0) continue;
+        session.recent_health = session.window_health_sum /
+                                static_cast<double>(session.window_frames);
+        if (session.window_frames < config_.health_window) continue;
+        const double window_health = session.recent_health;
+        session.window_frames = 0;
+        session.window_health_sum = 0.0;
+        if (config_.health_threshold <= 0.0 || !session.factory) continue;
+        if (window_health >= config_.health_threshold) continue;
+        if (session.restarts >= config_.max_restarts) {
+            evict_session(session,
+                          "health " + std::to_string(window_health) +
+                              " below threshold after " +
+                              std::to_string(session.restarts) + " restarts");
+            promote_queued();
+            continue;
+        }
+        restart_session(session);
+    }
+}
+
+void EngineHost::restart_session(Session& session) {
+    try {
+        // In-memory checkpoint -> fresh engine (fresh source from the
+        // factory, stages re-wired) -> restore -> swap into the same
+        // record. Siblings never observe any of it.
+        std::stringstream snapshot;
+        session.engine->snapshot(snapshot);
+        auto engine = std::make_unique<Engine>(session.engine_config,
+                                               session.factory(), pool_.get(),
+                                               plans_);
+        if (session.wire_stages) session.wire_stages(*engine);
+        engine->restore(snapshot);
+        session.engine = std::move(engine);
+        session.engine->set_session_id(session.id);
+        ++session.restarts;
+        ++restarts_total_;
+    } catch (const std::exception& error) {
+        evict_session(session,
+                      std::string("watchdog restart failed: ") + error.what());
+        promote_queued();
+    }
 }
 
 void EngineHost::lag_session(Session& session) {
@@ -518,6 +630,7 @@ FleetStats EngineHost::take_fleet_stats() {
     stats.active_sessions = active_sessions();
     stats.queued_sessions = queued_sessions();
     stats.fft_batched = fft_batched_window_;
+    stats.sessions_restarted = restarts_total_;
 
     stats.sessions.reserve(sessions_.size());
     for (auto& session : sessions_) {
@@ -532,6 +645,10 @@ FleetStats EngineHost::take_fleet_stats() {
         rollup.fault = session->fault;
         rollup.net = session->engine->net_stats();
         if (rollup.net) stats.net += *rollup.net;
+        rollup.quality = session->engine->quality_stats();
+        stats.quality += rollup.quality;
+        rollup.recent_health = session->recent_health;
+        rollup.restarts = session->restarts;
         stats.sessions.push_back(std::move(rollup));
 
         session->frames = 0;
@@ -543,6 +660,50 @@ FleetStats EngineHost::take_fleet_stats() {
     fft_batched_window_ = 0;
     window_started_s_ = now_s;
     return stats;
+}
+
+std::string to_json(const std::vector<EngineHost::SessionHealth>& sessions) {
+    std::string out;
+    out.reserve(64 + sessions.size() * 256);
+    out += "{\"sessions\":[";
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const EngineHost::SessionHealth& session = sessions[i];
+        if (i > 0) out += ',';
+        out += "{";
+        append_field(out, "id", static_cast<std::uint64_t>(session.id), false);
+        out += ",\"name\":";
+        append_json_string(out, session.name);
+        out += ",\"state\":\"";
+        out += to_string(session.state);
+        out += '"';
+        append_field(out, "health", session.recent_health);
+        out += ",\"degraded\":";
+        out += session.degraded ? "true" : "false";
+        append_field(out, "restarts",
+                     static_cast<std::uint64_t>(session.restarts));
+        out += ",\"quality\":";
+        append_quality(out, session.quality);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::vector<EngineHost::SessionHealth> EngineHost::session_health() const {
+    std::vector<SessionHealth> out;
+    out.reserve(sessions_.size());
+    for (const auto& session : sessions_) {
+        SessionHealth health;
+        health.id = session->id;
+        health.name = session->name;
+        health.state = session->engine->session_state();
+        health.quality = session->engine->quality_stats();
+        health.recent_health = session->recent_health;
+        health.restarts = session->restarts;
+        health.degraded = session->recent_health < 1.0;
+        out.push_back(std::move(health));
+    }
+    return out;
 }
 
 }  // namespace witrack::engine

@@ -65,6 +65,21 @@ struct HostConfig {
     /// (nullptr = the process-global FftPlanCache::global()).
     dsp::FftPlanCache* plan_cache = nullptr;
 
+    /// Self-healing watchdog: when > 0, a restartable session (see
+    /// admit_restartable) whose mean frame health over one health_window
+    /// of frames stays below this threshold is auto-checkpointed and
+    /// restarted in place -- same session id, state resumed from the
+    /// checkpoint -- up to max_restarts times, then evicted. Siblings are
+    /// untouched either way. 0 disables the watchdog (health is still
+    /// tracked and reported).
+    double health_threshold = 0.0;
+
+    /// Frames per watchdog evaluation window (tumbling, per session).
+    std::size_t health_window = 64;
+
+    /// Watchdog restarts allowed per session before it is evicted.
+    std::size_t max_restarts = 3;
+
     /// Batched FFT scheduling: each step_all() round runs in two phases --
     /// every ready session stages its range FFTs into one shared
     /// dsp::FftBatch, the host runs the batch (same-shape transforms across
@@ -102,6 +117,18 @@ struct HostConfig {
         batch_fft = enable;
         return *this;
     }
+    HostConfig& with_health_threshold(double threshold) {
+        health_threshold = threshold;
+        return *this;
+    }
+    HostConfig& with_health_window(std::size_t frames) {
+        health_window = frames;
+        return *this;
+    }
+    HostConfig& with_max_restarts(std::size_t count) {
+        max_restarts = count;
+        return *this;
+    }
 };
 
 /// Per-session rollup inside FleetStats. frames / step timing cover the
@@ -120,6 +147,13 @@ struct SessionStats {
     /// NOT reset per window) for sessions fed by a net::NetSource; empty
     /// for in-process sources.
     std::optional<NetIngestStats> net;
+    /// Hardware-quality rollup (cumulative over the session's lifetime,
+    /// carried across checkpoint/restore and watchdog restarts).
+    QualityStats quality;
+    /// Mean frame health over the most recent watchdog window.
+    double recent_health = 1.0;
+    /// Watchdog restarts this session has survived.
+    std::size_t restarts = 0;
     double mean_step_s() const {
         return frames > 0 ? total_step_s / static_cast<double>(frames) : 0.0;
     }
@@ -145,6 +179,11 @@ struct FleetStats {
     /// registered network-fed session (cumulative, like the per-session
     /// counters -- reaped sessions leave the sum).
     NetIngestStats net;
+    /// Sum of the hardware-quality counters over every currently
+    /// registered session (cumulative, like net).
+    QualityStats quality;
+    /// Watchdog restarts performed over the host's lifetime.
+    std::size_t sessions_restarted = 0;
     std::vector<SessionStats> sessions;
 };
 
@@ -164,6 +203,21 @@ class EngineHost {
     /// throws std::runtime_error. Returns the session's id.
     SessionId admit(std::string name, EngineConfig config,
                     std::unique_ptr<FrameSource> source);
+
+    /// Builds a fresh FrameSource for each incarnation of a restartable
+    /// session (initial admission and every watchdog restart).
+    using SourceFactory = std::function<std::unique_ptr<FrameSource>()>;
+
+    /// Admit a session the self-healing watchdog may restart: the factory
+    /// supplies the source (now, and again on each restart), `wire_stages`
+    /// re-attaches the session's stages and subscribers to the rebuilt
+    /// Engine. On restart the old engine is checkpointed in memory and a
+    /// fresh one restored from it into the SAME session record (same id);
+    /// a failed restart evicts the session instead. Requires
+    /// HostConfig::health_threshold > 0 for restarts to actually trigger.
+    SessionId admit_restartable(
+        std::string name, EngineConfig config, SourceFactory factory,
+        const std::function<void(Engine&)>& wire_stages = {});
 
     /// Serialize one session's full state (tracker, stages, source cursor;
     /// Engine::snapshot wire format) into `out` so it can drain to disk and
@@ -244,6 +298,26 @@ class EngineHost {
     /// frame/wall counters, per-session step timings, per-stage stats).
     FleetStats take_fleet_stats();
 
+    /// One session's health, as the watchdog sees it. Cumulative quality
+    /// counters plus the most recent tumbling-window mean health.
+    struct SessionHealth {
+        SessionId id = 0;
+        std::string name;
+        SessionState state = SessionState::kAdmitted;
+        QualityStats quality;        ///< cumulative (survives restarts)
+        double recent_health = 1.0;  ///< last watchdog-window mean
+        std::size_t restarts = 0;    ///< watchdog restarts survived
+        bool degraded = false;       ///< recent_health < 1: faults active
+    };
+
+    /// Health snapshot of every registered session. Non-destructive --
+    /// unlike take_fleet_stats() this resets nothing, so the control
+    /// plane's HEALTH probe can poll without disturbing the STATS window.
+    std::vector<SessionHealth> session_health() const;
+
+    /// Watchdog restarts performed over the host's lifetime.
+    std::size_t sessions_restarted() const { return restarts_total_; }
+
   private:
     struct Session {
         SessionId id = 0;
@@ -257,6 +331,18 @@ class EngineHost {
         double total_step_s = 0.0;     ///< window counter
         double max_step_s = 0.0;       ///< window counter
         std::string fault;
+        /// Self-healing wiring: empty factory = not restartable.
+        EngineConfig engine_config;
+        SourceFactory factory;
+        std::function<void(Engine&)> wire_stages;
+        std::size_t restarts = 0;
+        /// Watchdog accounting: engine quality counters already consumed
+        /// (marks) and the current tumbling health window.
+        std::uint64_t mark_frames = 0;
+        double mark_health_sum = 0.0;
+        std::uint64_t window_frames = 0;
+        double window_health_sum = 0.0;
+        double recent_health = 1.0;
     };
 
     Session* find(SessionId id);
@@ -274,6 +360,12 @@ class EngineHost {
     /// Backpressure accounting for a paused session (shared by both round
     /// variants); may evict the session past max_frame_lag.
     void lag_session(Session& session);
+    /// Roll every session's engine quality deltas into its watchdog window
+    /// and trigger restarts/evictions; runs once per step_all() round.
+    void watch_health();
+    /// Checkpoint + rebuild + restore one session in place (same record,
+    /// same id). A failed restart evicts the session.
+    void restart_session(Session& session);
 
     HostConfig config_;
     std::size_t workers_ = 1;
@@ -290,6 +382,11 @@ class EngineHost {
     std::size_t admitted_total_ = 0;
     std::size_t finished_total_ = 0;
     std::size_t evicted_total_ = 0;
+    std::size_t restarts_total_ = 0;
 };
+
+/// Compact single-line JSON rendering of a session-health snapshot -- the
+/// control plane's HEALTH response body.
+std::string to_json(const std::vector<EngineHost::SessionHealth>& sessions);
 
 }  // namespace witrack::engine

@@ -38,6 +38,7 @@ bool LiveSource::next(Frame& frame) {
         provider_ ? provider_(time_s) : std::vector<rf::BodyScatterer>{};
     for (std::size_t s = 0; s < sweeps; ++s)
         frontend_->capture_sweep_into(frame.sweeps, s, body);
+    if (injector_) injector_->apply(frame.sweeps, time_s);
 
     ++frame_index_;
     return true;

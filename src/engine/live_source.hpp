@@ -10,10 +10,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "engine/config.hpp"
 #include "engine/frame_source.hpp"
+#include "hw/fault_injector.hpp"
 #include "hw/frontend.hpp"
 
 namespace witrack::engine {
@@ -38,11 +41,21 @@ class LiveSource : public FrameSource {
     const geom::ArrayGeometry& array() const override { return array_; }
     const FmcwParams& fmcw() const override { return frontend_->params(); }
 
+    /// Attach (or replace/remove, with nullptr) the hardware fault
+    /// injector: every captured frame is damaged in place right after the
+    /// ADC, before anything downstream sees it. Without one, frames are
+    /// bit-identical to a fault-free build.
+    void set_fault_injector(std::unique_ptr<hw::FaultInjector> injector) {
+        injector_ = std::move(injector);
+    }
+    const hw::FaultInjector* fault_injector() const { return injector_.get(); }
+
   private:
     hw::FmcwFrontend* frontend_;
     geom::ArrayGeometry array_;
     double duration_s_;
     BodyProvider provider_;
+    std::unique_ptr<hw::FaultInjector> injector_;
     std::size_t frame_index_ = 0;
 };
 

@@ -119,6 +119,9 @@ ControlServer::ControlServer(engine::EngineHost& host, std::uint16_t port)
     register_command("STATS", [this](const std::vector<std::string>&) {
         return "OK " + engine::to_json(host_.take_fleet_stats());
     });
+    register_command("HEALTH", [this](const std::vector<std::string>&) {
+        return "OK " + engine::to_json(host_.session_health());
+    });
     register_command("PAUSE", [this](const std::vector<std::string>& argv) {
         engine::SessionId id = 0;
         if (argv.size() != 1 || !parse_session_id(argv[0], id))

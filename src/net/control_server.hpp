@@ -8,6 +8,9 @@
 //
 //   PING                    liveness probe -> "OK pong"
 //   STATS                   -> "OK " + engine::to_json(take_fleet_stats())
+//   HEALTH                  -> "OK " + engine::to_json(session_health());
+//                           non-destructive (STATS resets the telemetry
+//                           window; HEALTH can be polled freely)
 //   PAUSE <id>              stop scheduling a session
 //   RESUME <id>             resume a paused session
 //   EVICT <id> [reason...]  terminally remove a session

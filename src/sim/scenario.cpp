@@ -27,10 +27,13 @@ Scenario::Scenario(ScenarioConfig config, std::unique_ptr<MotionScript> script,
 
     RoomSpec room;
     room.device_outside = config_.through_wall;
+    room.wall_material = config_.wall_material;
     environment_ = make_lab_environment(room);
 
-    array_ = geom::make_t_array(Vec3{0.0, 0.0, config_.device_height_m},
-                                config_.antenna_separation_m);
+    const Vec3 center{0.0, 0.0, config_.device_height_m};
+    array_ = config_.cross_array
+                 ? geom::make_cross_array(center, config_.antenna_separation_m)
+                 : geom::make_t_array(center, config_.antenna_separation_m);
 
     // Antennas face +y into the room.
     rf::Antenna tx{array_.tx, array_.boresight, {}};

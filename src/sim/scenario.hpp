@@ -42,6 +42,12 @@ struct ScenarioConfig {
     bool model_sweep_nonlinearity = true;
     /// Optional second person (multi-person tracking extension).
     bool second_person = false;
+    /// Wall construction of the room's front wall (through-wall mode).
+    rf::Material wall_material = rf::materials::sheetrock();
+    /// Use the 4-RX cross array (redundant fourth antenna above the Tx)
+    /// instead of the paper's default 3-RX T array. The extra antenna lets
+    /// localization survive a single-antenna dropout.
+    bool cross_array = false;
 };
 
 class Scenario {

@@ -1,0 +1,82 @@
+// Data-driven scenario files: one experiment -- motion scripts, person
+// count, wall material, seeds, and a scripted hardware-fault timeline --
+// described in a small line-oriented text format, loaded at run time. No
+// recompile to change a campaign, and a fixed seed makes every run replay
+// bit for bit (the determinism the snapshot/restore and fault-accounting
+// tests lean on).
+//
+// Format (see docs/SCENARIO_FORMAT.md for the full grammar):
+//
+//   # comment
+//   name     = through-wall-walk
+//   seed     = 42
+//   duration_s = 12
+//   wall     = concrete            # sheetrock | concrete | glass | wood
+//   cross_array = true             # 4-RX array (dropout-tolerant)
+//   person   = line -2,4.5,0.9 -> 2,6.5,0.9
+//   fault_rates = saturation=0.05,seed=7
+//   fault    = dropout 5.0 9.0 rx=2
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "hw/fault_injector.hpp"
+#include "sim/scenario.hpp"
+
+namespace witrack::sim {
+
+/// One person's motion, as described by a `person = ...` line.
+struct PersonSpec {
+    enum class Kind : std::uint8_t {
+        kStill,      ///< stand at `position` for the whole run
+        kLine,       ///< walk `from` -> `to` at constant speed
+        kWaypoints,  ///< seeded random-waypoint walk in the default bounds
+    };
+    Kind kind = Kind::kLine;
+    geom::Vec3 from{-2.0, 4.5, 0.9};   ///< kLine start (z = body-centre height)
+    geom::Vec3 to{2.0, 6.5, 0.9};      ///< kLine end
+    geom::Vec3 position{0.0, 5.0, 0.9};///< kStill stand position
+    double center_height_m = 1.0;      ///< body-centre height (kWaypoints)
+};
+
+/// A fully parsed scenario file, ready to instantiate.
+struct ScenarioSpec {
+    std::string name;
+    ScenarioConfig config;          ///< seed, wall, array, capture knobs
+    double duration_s = 10.0;
+    std::vector<PersonSpec> persons;  ///< 1 or 2 entries
+    hw::FaultConfig faults;           ///< rates + scripted windows
+
+    /// True when the spec configures any hardware fault (rate or window):
+    /// only then does the source attach an injector, so fault-free specs
+    /// stay on the pristine (bit-identical) path.
+    bool has_faults() const {
+        return !faults.schedule.empty() || faults.sweep_drop_rate > 0.0 ||
+               faults.sweep_short_rate > 0.0 || faults.saturation_rate > 0.0 ||
+               faults.dropout_rate > 0.0 || faults.drift_rate > 0.0 ||
+               faults.burst_rate > 0.0;
+    }
+};
+
+/// Parse scenario text. `source_name` labels error messages; every parse
+/// error throws std::invalid_argument as "<source_name>:<line>: <reason>"
+/// (unknown key, malformed number, out-of-range value, truncated person or
+/// fault line).
+ScenarioSpec parse_scenario_text(const std::string& text,
+                                 const std::string& source_name);
+
+/// Load and parse a scenario file. Throws std::runtime_error when the file
+/// cannot be read; parse errors as in parse_scenario_text.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Instantiate the simulator for a parsed spec (motion scripts are built
+/// from the person entries; deterministic under the spec's seed).
+std::unique_ptr<Scenario> make_scenario(const ScenarioSpec& spec);
+
+/// The spec's fault injector, or nullptr when it schedules no faults.
+std::unique_ptr<hw::FaultInjector> make_fault_injector(const ScenarioSpec& spec);
+
+}  // namespace witrack::sim

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -245,8 +246,15 @@ TEST(Fleet, BatchedHostSharesCrossSessionFftWork) {
     auto stats = host.take_fleet_stats();
     EXPECT_EQ(stats.frames, 10u);
     // Both sessions' transforms share every round's pass: 2 sessions x
-    // num_rx antennas x 5 rounds all ran inside batches of >= 2.
-    EXPECT_EQ(stats.fft_batched, 2u * num_rx * 5u);
+    // num_rx antennas x 5 rounds all ran inside batches of >= 2. Under a
+    // WITRACK_HW_FAULTS campaign (the CI fault-matrix lane) dropped lanes
+    // skip their FFT entirely, so the shared count can only shrink.
+    if (std::getenv("WITRACK_HW_FAULTS") == nullptr) {
+        EXPECT_EQ(stats.fft_batched, 2u * num_rx * 5u);
+    } else {
+        EXPECT_GT(stats.fft_batched, 0u);
+        EXPECT_LE(stats.fft_batched, 2u * num_rx * 5u);
+    }
     EXPECT_NE(engine::to_json(stats).find("\"fft_batched\":"), std::string::npos);
 
     // The counter is a window aggregate: it resets with the window and

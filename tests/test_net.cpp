@@ -26,6 +26,7 @@
 #include "engine/engine.hpp"
 #include "engine/host.hpp"
 #include "engine/sim_source.hpp"
+#include "hw/fault_injector.hpp"
 #include "net/control_server.hpp"
 #include "net/datagram_source.hpp"
 #include "net/fault_injector.hpp"
@@ -709,6 +710,36 @@ TEST(ControlPlane, StatsScrapeIsJson) {
     EXPECT_NE(json.find("\"frames\":10"), std::string::npos);
     EXPECT_NE(json.find("\"net\":{"), std::string::npos);
     (void)id;
+}
+
+TEST(ControlPlane, HealthScrapeReportsDegradationNonDestructively) {
+    engine::EngineHost host;
+    auto source = std::make_unique<engine::SimSource>(walk_config(405),
+                                                      walk_script(1.0));
+    hw::FaultConfig faults;
+    faults.dropout_rate = 0.2;
+    faults.seed = 9;
+    source->set_fault_injector(std::make_unique<hw::FaultInjector>(faults));
+    host.admit("degraded-home", walk_config(405), std::move(source));
+    for (int i = 0; i < 30; ++i) host.step_all();
+
+    net::ControlServer server(host);
+    net::ControlClient client(server.port());
+    const std::string response = roundtrip(server, client, "HEALTH");
+    ASSERT_EQ(response.rfind("OK {", 0), 0u);
+    EXPECT_NE(response.find("\"name\":\"degraded-home\""), std::string::npos);
+    EXPECT_NE(response.find("\"health\":"), std::string::npos);
+    EXPECT_NE(response.find("\"degraded\":true"), std::string::npos);
+    EXPECT_NE(response.find("\"rx_dropouts\":"), std::string::npos);
+    // Unlike STATS, HEALTH never resets a window: polling it twice in a
+    // row (no frames in between) returns the identical document.
+    EXPECT_EQ(roundtrip(server, client, "HEALTH"), response);
+
+    // The destructive scrape carries the fleet-level quality rollup.
+    const std::string stats = roundtrip(server, client, "STATS");
+    EXPECT_NE(stats.find("\"quality\":{"), std::string::npos);
+    EXPECT_NE(stats.find("\"sessions_restarted\":0"), std::string::npos);
+    EXPECT_NE(stats.find("\"degraded_frames\":"), std::string::npos);
 }
 
 TEST(ControlPlane, PauseResumeEvictLifecycle) {

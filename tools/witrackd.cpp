@@ -9,12 +9,24 @@
 // Server:  witrackd [--control-port P] [--max-sessions N] [--workers W]
 //                   [--max-frame-lag R] [--stats-every SEC]
 //                   [--net-idle-timeout SEC] [--run-seconds SEC] [--idle-exit]
+//                   [--health-threshold H] [--health-window F]
+//                   [--max-restarts N]
 // Client:  witrackd --port P --cmd "STATS"
 //
-// On top of the ControlServer builtins (PING / STATS / PAUSE / RESUME /
-// EVICT / CHECKPOINT) the daemon registers:
+// On top of the ControlServer builtins (PING / STATS / HEALTH / PAUSE /
+// RESUME / EVICT / CHECKPOINT) the daemon registers:
 //
-//   ADMIT sim <name> <seed> <seconds>     synthetic walk tenant
+//   ADMIT sim <name> <seed> <seconds> [faults]
+//                                         synthetic walk tenant; the
+//                                         optional WITRACK_HW_FAULTS-style
+//                                         spec (e.g. "dropout=0.1,seed=7")
+//                                         attaches a hardware fault
+//                                         injector. Sim tenants are
+//                                         restartable: with
+//                                         --health-threshold set, the
+//                                         host's watchdog auto-checkpoints
+//                                         and restarts them in place when
+//                                         their health stays low.
 //   ADMIT net <name> <udp_port> <token>   UDP-fed tenant (0 = ephemeral
 //                                         port, echoed in the response)
 //   DRAIN                                 stop admitting, exit when drained
@@ -95,7 +107,12 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(args.get_int("max-sessions", 8)))
             .with_queue_when_full(true)
             .with_max_frame_lag(
-                static_cast<std::size_t>(args.get_int("max-frame-lag", 500))));
+                static_cast<std::size_t>(args.get_int("max-frame-lag", 500)))
+            .with_health_threshold(args.get_double("health-threshold", 0.0))
+            .with_health_window(
+                static_cast<std::size_t>(args.get_int("health-window", 64)))
+            .with_max_restarts(
+                static_cast<std::size_t>(args.get_int("max-restarts", 3))));
     net::ControlServer control(
         host, static_cast<std::uint16_t>(args.get_int("control-port", 0)));
 
@@ -115,14 +132,31 @@ int main(int argc, char** argv) {
                 std::uint64_t seconds = 0;
                 if (!parse_u64(argv_[2], seed) || !parse_u64(argv_[3], seconds) ||
                     seconds == 0 || seconds > 3600)
-                    return "ERR usage: ADMIT sim <name> <seed> <seconds>";
-                auto config = tenant_config(seed);
-                auto walk = std::make_unique<sim::LineWalkScript>(
-                    geom::Vec3{-1.5, 5, 0}, geom::Vec3{1.5, 5, 0},
-                    static_cast<double>(seconds), 1.0);
-                const auto id = host.admit(
-                    argv_[1], config,
-                    std::make_unique<engine::SimSource>(config, std::move(walk)));
+                    return "ERR usage: ADMIT sim <name> <seed> <seconds> "
+                           "[faults]";
+                const auto config = tenant_config(seed);
+                // Parse a bad fault spec here (-> "ERR ..." to the
+                // operator), not inside the factory at restart time.
+                hw::FaultConfig faults;
+                const bool has_faults = argv_.size() >= 5;
+                if (has_faults) faults = hw::parse_fault_spec(argv_[4]);
+                // Restartable: the factory rebuilds the deterministic
+                // source for each incarnation, so the watchdog can
+                // checkpoint + restart the tenant in place.
+                auto factory = [config, seconds, faults, has_faults]() {
+                    auto walk = std::make_unique<sim::LineWalkScript>(
+                        geom::Vec3{-1.5, 5, 0}, geom::Vec3{1.5, 5, 0},
+                        static_cast<double>(seconds), 1.0);
+                    auto source = std::make_unique<engine::SimSource>(
+                        config, std::move(walk));
+                    if (has_faults)
+                        source->set_fault_injector(
+                            std::make_unique<hw::FaultInjector>(faults));
+                    return std::unique_ptr<engine::FrameSource>(
+                        std::move(source));
+                };
+                const auto id = host.admit_restartable(argv_[1], config,
+                                                       std::move(factory));
                 admitted_any = true;
                 return "OK admitted " + std::to_string(id);
             }
